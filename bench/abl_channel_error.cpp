@@ -1,0 +1,56 @@
+// Ablation: making the paper's effective-bandwidth abstraction explicit
+// ("noise, packet loss ... subsumed by an appropriate choice of the
+// effective wireless communication bandwidth", Section 4).
+//
+// Sweeps the bit-error rate of an 11 Mbps raw link, derives the
+// delivered bandwidth under stop-and-wait retransmission, shows the
+// MTU/BER interaction, and feeds the derived B into the Figure-5
+// range-query experiment — connecting physical channel quality to the
+// paper's scheme crossovers.
+#include <iostream>
+
+#include "figure_common.hpp"
+#include "net/channel_model.hpp"
+
+using namespace mosaiq;
+
+int main() {
+  std::cout << "=== Ablation: channel errors -> effective bandwidth (11 Mbps raw) ===\n\n";
+
+  stats::Table t({"BER", "P(frame ok)", "E[tx/frame]", "effective B (Mbps)",
+                  "optimal MTU"});
+  for (const double ber : {0.0, 1e-6, 1e-5, 5e-5, 1e-4, 2e-4, 5e-4}) {
+    const net::ErrorChannelConfig ch{11.0, ber};
+    t.row({stats::fmt_sci(ber, 1), stats::fmt_fixed(net::frame_success_probability(ber, 1500), 4),
+           stats::fmt_fixed(net::expected_transmissions(ber, 1500), 3),
+           stats::fmt_fixed(net::effective_bandwidth_mbps(ch), 2),
+           std::to_string(net::best_mtu_bytes(ch)) + "B"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nrange queries on PA under the derived effective bandwidth (fully-at-server"
+               "\n[data@client] vs the fully-at-client reference):\n";
+  const workload::Dataset pa = workload::make_pa();
+  workload::QueryGen gen(pa, 654);
+  const auto queries = gen.batch(rtree::QueryKind::Range, bench::kQueriesPerRun);
+  const stats::Outcome local = core::Session::run_batch(
+      pa, bench::make_config({core::Scheme::FullyAtClient, true}, 11.0), queries);
+
+  stats::Table t2({"BER", "effective B", "server E(J)", "client E(J)", "E winner"});
+  for (const double ber : {0.0, 5e-5, 1e-4, 2e-4, 5e-4}) {
+    const double bw = net::effective_bandwidth_mbps({11.0, ber});
+    const stats::Outcome remote = core::Session::run_batch(
+        pa, bench::make_config({core::Scheme::FullyAtServer, true}, bw), queries);
+    t2.row({stats::fmt_sci(ber, 1), stats::fmt_fixed(bw, 2) + "Mbps",
+            stats::fmt_joules(remote.energy.total_j()),
+            stats::fmt_joules(local.energy.total_j()),
+            remote.energy.total_j() < local.energy.total_j() ? "offload" : "stay local"});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\nShape check: the BER axis maps onto the paper's 2-11 Mbps bandwidth\n"
+               "sweep (1e-4-class error rates land in the 2 Mbps regime); the offloading\n"
+               "decision flips at the BER whose effective bandwidth crosses Figure 5's\n"
+               "~6-8 Mbps energy break-even, and the optimal MTU shrinks as errors grow.\n";
+  return 0;
+}

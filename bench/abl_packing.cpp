@@ -1,0 +1,76 @@
+// Ablation (DESIGN.md §5.2): why the paper uses a HILBERT-packed R-tree.
+//
+// Compares fully-at-client range-query cost on PA across index builds
+// over the SAME un-sorted (generation-order) record store, so only the
+// index packing differs:
+//   - Hilbert-order packing (the paper's structure),
+//   - Z-order (Morton) packing,
+//   - arrival-order packing (degenerate baseline: leaves have huge MBRs),
+//   - the dynamic Guttman R-tree,
+// plus the production pipeline (store Hilbert-sorted too), which also
+// gives refinement its sequential data layout.
+#include <iostream>
+#include <numeric>
+
+#include "figure_common.hpp"
+#include "rtree/dynamic_rtree.hpp"
+
+using namespace mosaiq;
+
+namespace {
+
+template <typename Tree>
+void run_case(const char* name, const Tree& tree, const rtree::SegmentStore& store,
+              std::span<const rtree::RangeQuery> windows, stats::Table& t) {
+  sim::ClientCpu cpu{sim::client_at_ratio(1.0 / 8.0)};
+  std::uint64_t answers = 0;
+  for (const auto& q : windows) {
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> ids;
+    tree.filter_range(q.window, cpu, cand);
+    rtree::refine_range(store, q.window, cand, cpu, ids);
+    answers += ids.size();
+  }
+  t.row({name, std::to_string(tree.node_count()), stats::fmt_bytes(tree.bytes()),
+         stats::fmt_joules(cpu.energy().total_j()), stats::fmt_cycles(cpu.busy_cycles()),
+         stats::fmt_pct(cpu.dcache_stats().hit_rate()), std::to_string(answers)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: index packing strategy (fully-at-client, range, PA) ===\n";
+
+  // Un-sorted store: records in generation order.
+  std::vector<geom::Segment> raw = workload::generate_segments(workload::pa_spec());
+  const rtree::SegmentStore store(std::move(raw));
+  std::cout << "dataset PA (generation-order store): " << store.size() << " segments, "
+            << stats::fmt_bytes(store.bytes()) << "\n";
+
+  // Windows from the paper's distribution (reuse the indexed dataset
+  // only to draw density-weighted centers).
+  const workload::Dataset indexed = workload::make_pa();
+  workload::QueryGen gen(indexed, 333);
+  std::vector<rtree::RangeQuery> windows;
+  for (std::size_t i = 0; i < bench::kQueriesPerRun; ++i) windows.push_back(gen.range_query());
+
+  stats::Table t({"index build", "nodes", "bytes", "E_client(J)", "C_client", "D$ hit",
+                  "answers"});
+
+  run_case("packed (Hilbert)", rtree::PackedRTree::build(store, rtree::SortOrder::Hilbert),
+           store, windows, t);
+  run_case("packed (Morton)", rtree::PackedRTree::build(store, rtree::SortOrder::Morton),
+           store, windows, t);
+  run_case("packed (arrival order)", rtree::PackedRTree::build(store, rtree::SortOrder::None),
+           store, windows, t);
+  run_case("dynamic (Guttman)", rtree::DynamicRTree::build(store), store, windows, t);
+  run_case("Hilbert-sorted store + packed", indexed.tree, indexed.store, windows, t);
+
+  t.print(std::cout);
+  std::cout << "\nShape check: identical answer counts everywhere; Hilbert packing needs\n"
+               "the least filtering work, arrival-order packing is catastrophic (every\n"
+               "leaf MBR spans the map), the dynamic tree pays node slack, and sorting\n"
+               "the record store as well (production pipeline) adds data locality for\n"
+               "the refinement step on top.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation (DESIGN.md §5): the two shipment-selection policies for the
+// insufficient-memory scheme — the paper's Figure-2 flavor (contiguous
+// leaves in Hilbert order around the query path) vs symmetric window
+// expansion — compared on safe-rectangle coverage, hit rate, and
+// end-to-end energy on the Figure-10 workload.
+#include <iostream>
+
+#include "core/caching_client.hpp"
+#include "figure_common.hpp"
+
+using namespace mosaiq;
+
+int main() {
+  std::cout << "=== Ablation: shipment policy (insufficient memory, PA, 2 Mbps) ===\n";
+  const workload::Dataset pa = workload::make_pa();
+  bench::print_dataset_banner(pa, std::cout);
+
+  stats::Table t({"policy", "buffer", "proximity", "hits", "fetches", "E/query (J)",
+                  "safe rect area"});
+  for (const auto& [policy, name] :
+       {std::pair{rtree::ShipPolicy::HilbertRange, "hilbert-range (Fig. 2)"},
+        std::pair{rtree::ShipPolicy::WindowExpand, "window-expand"}}) {
+    for (const std::uint64_t budget : {1ull << 20, 2ull << 20}) {
+      for (const std::uint32_t proximity : {40u, 160u}) {
+        const auto bursts = workload::make_proximity_workload(pa, 2, proximity, 0.003,
+                                                              999, 1e-5, 3e-4);
+        core::SessionConfig cfg;
+        cfg.channel = {2.0, 1000.0};
+        cfg.client = sim::client_at_ratio(1.0 / 8.0);
+        core::CachingClient client(pa, cfg, {budget, policy});
+        std::size_t n = 0;
+        for (const auto& b : bursts) {
+          for (const auto& q : b.queries) {
+            client.run_query(q);
+            ++n;
+          }
+        }
+        t.row({name, stats::fmt_bytes(budget), std::to_string(proximity),
+               std::to_string(client.local_hits()), std::to_string(client.fetches()),
+               stats::fmt_joules(client.outcome().energy.total_j() / n),
+               stats::fmt_fixed(client.safe_rect().area(), 4)});
+      }
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check: both policies keep hit rates high on proximate workloads;\n"
+               "window expansion tends to certify a larger safe rectangle for the same\n"
+               "budget, hilbert-range follows the paper's packed-R-tree construction.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension experiment: ADAPTIVE per-query scheme selection (the
+// Section 4.1 model as an online planner) vs every static Table-1
+// scheme, on a mixed point+range workload across bandwidths.
+//
+// Expected shape: no static scheme wins everywhere (that is the paper's
+// whole point), while the adaptive session tracks the per-configuration
+// winner for its objective — and the energy-objective and
+// latency-objective planners diverge exactly where the paper's figures
+// show energy and performance disagreeing.
+#include <iostream>
+
+#include "core/adaptive_session.hpp"
+#include "figure_common.hpp"
+
+using namespace mosaiq;
+
+int main() {
+  std::cout << "=== Extension: adaptive scheme selection (PA, C/S=1/8, 1 km) ===\n";
+  const workload::Dataset pa = workload::make_pa();
+  bench::print_dataset_banner(pa, std::cout);
+
+  workload::QueryGen gen(pa, 909);
+  std::vector<rtree::Query> queries = gen.batch(rtree::QueryKind::Range, 50);
+  {
+    const auto points = gen.batch(rtree::QueryKind::Point, 50);
+    queries.insert(queries.end(), points.begin(), points.end());
+  }
+  std::cout << "workload: 50 range + 50 point queries, interleaved\n\n";
+
+  for (const double mbps : {2.0, 6.0, 11.0}) {
+    std::cout << "--- " << mbps << " Mbps ---\n";
+    stats::Table t({"policy", "E_total(J)", "C_total", "choices c/s/fc/fs"});
+    for (const bench::SchemeVariant sv : bench::adequate_memory_variants(true)) {
+      if (!sv.data_at_client && uses_server(sv.scheme)) continue;  // keep the table tight
+      const auto cfg = bench::make_config(sv, mbps);
+      const stats::Outcome o = core::Session::run_batch(pa, cfg, queries);
+      t.row({std::string("static ") + name_of(sv.scheme), stats::fmt_joules(o.energy.total_j()),
+             stats::fmt_cycles(o.cycles.total()), "--"});
+    }
+    for (const core::Objective obj : {core::Objective::Energy, core::Objective::Latency}) {
+      core::AdaptiveSession adaptive(pa, bench::make_config({core::Scheme::FullyAtClient, true},
+                                                            mbps),
+                                     obj);
+      for (const auto& q : queries) adaptive.run_query(q);
+      const stats::Outcome o = adaptive.outcome();
+      const auto& c = adaptive.choices();
+      t.row({std::string("adaptive (") + name_of(obj) + ")",
+             stats::fmt_joules(o.energy.total_j()), stats::fmt_cycles(o.cycles.total()),
+             std::to_string(c[0]) + "/" + std::to_string(c[1]) + "/" + std::to_string(c[2]) +
+                 "/" + std::to_string(c[3])});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Shape check: the static winner changes with bandwidth; adaptive(energy)\n"
+               "tracks the lowest-energy row and adaptive(latency) the lowest-cycles row,\n"
+               "each within the planner's estimation error; point queries are always kept\n"
+               "local (the Figure 4 rule), range queries migrate as the channel improves.\n";
+  return 0;
+}

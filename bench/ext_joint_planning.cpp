@@ -1,0 +1,77 @@
+// Extension experiment: JOINT scheme x operating-point planning — the
+// Section 4.1 model evaluated over the full (Table-1 scheme, DVFS
+// ladder point) grid, picking the lowest-energy pair that meets a
+// per-query latency deadline.
+//
+// The interplay the single-axis experiments cannot show: how deadlines
+// move the winner across BOTH axes at once, where the energy-optimal
+// operating point sits when the NIC sleep floor taxes slow execution,
+// and which deadlines are simply infeasible for a given channel.
+#include <iostream>
+
+#include "core/planner.hpp"
+#include "figure_common.hpp"
+#include "sim/dvfs.hpp"
+
+using namespace mosaiq;
+
+int main() {
+  std::cout << "=== Extension: joint scheme x DVFS planning (PA, 1 km) ===\n";
+  const workload::Dataset pa = workload::make_pa();
+  bench::print_dataset_banner(pa, std::cout);
+
+  // A representative heavy range query (downtown magnification).
+  const rtree::Query q = rtree::RangeQuery{{{0.20, 0.26}, {0.27, 0.33}}};
+  std::cout << "query: 0.07x0.07 range window in the densest PA core\n\n";
+
+  const auto ladder = sim::default_opp_ladder();
+  for (const double mbps : {2.0, 8.0}) {
+    std::cout << "--- " << mbps << " Mbps ---\n";
+    stats::Table t({"deadline", "best scheme", "best OPP", "E(mJ)", "latency(ms)"});
+    for (const double deadline_ms : {1e9, 400.0, 150.0, 60.0, 25.0}) {
+      core::Scheme best_scheme = core::Scheme::FullyAtClient;
+      sim::OperatingPoint best_opp = ladder.back();
+      double best_e = std::numeric_limits<double>::infinity();
+      double best_t = 0;
+      for (const sim::OperatingPoint& opp : ladder) {
+        core::PlannerEnv env;
+        env.bandwidth_mbps = mbps;
+        env.client_mhz = opp.clock_mhz;
+        env.client_active_w = 0.07 * (opp.clock_mhz / 125.0) * opp.energy_scale();
+        const core::Planner planner(pa, env);
+        for (const core::Scheme s :
+             {core::Scheme::FullyAtClient, core::Scheme::FullyAtServer,
+              core::Scheme::FilterClientRefineServer,
+              core::Scheme::FilterServerRefineClient}) {
+          const core::SchemePrediction pred = planner.predict(s, q);
+          if (pred.latency_s * 1000.0 > deadline_ms) continue;
+          if (pred.energy_j < best_e) {
+            best_e = pred.energy_j;
+            best_t = pred.latency_s;
+            best_scheme = s;
+            best_opp = opp;
+          }
+        }
+      }
+      const std::string dl = deadline_ms > 1e8 ? "none" : stats::fmt_fixed(deadline_ms, 0) + "ms";
+      if (best_e == std::numeric_limits<double>::infinity()) {
+        t.row({dl, "infeasible", "--", "--", "--"});
+      } else {
+        t.row({dl, name_of(best_scheme),
+               stats::fmt_fixed(best_opp.clock_mhz, 2) + "MHz@" +
+                   stats::fmt_fixed(best_opp.supply_v, 2) + "V",
+               stats::fmt_fixed(best_e * 1e3, 3), stats::fmt_fixed(best_t * 1e3, 1)});
+      }
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Shape check: even unconstrained, the planner picks a MID-ladder point\n"
+               "(the NIC sleep floor penalizes dawdling: race-to-sleep) and stays local\n"
+               "on a slow channel; tightening the deadline flips it to offloading at the\n"
+               "same mid point (the client mostly waits, so its clock barely matters),\n"
+               "and deadlines below the channel's transfer floor are reported\n"
+               "infeasible.  On a fast channel offloading dominates outright.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 5: range queries on PA, C/S = 1/8, 1 km transmit distance.
+//
+// Paper results to reproduce:
+//   - processor cycles/energy are no longer negligible: work
+//     partitioning can beat fully-at-client at realistic bandwidths;
+//   - keeping the data at the client (ids instead of 76 B records in
+//     responses) helps performance much more than energy;
+//   - fully-at-server [data@client] beats fully-at-client cycles already
+//     at 2 Mbps but needs >6 Mbps to win on energy;
+//   - the hybrids invert: filter@client/refine@server wins cycles
+//     (refinement offloaded to the fast server), filter@server/
+//     refine@client wins energy (tiny uplink on the 3 W transmitter).
+#include <iostream>
+
+#include "figure_common.hpp"
+
+using namespace mosaiq;
+
+int main() {
+  std::cout << "=== Figure 5: Range Queries (PA, C/S=1/8, 1 km) ===\n";
+  const workload::Dataset pa = workload::make_pa();
+  bench::print_dataset_banner(pa, std::cout);
+
+  workload::QueryGen gen(pa, 505);
+  const auto queries = gen.batch(rtree::QueryKind::Range, bench::kQueriesPerRun);
+  std::cout << bench::kQueriesPerRun
+            << " range queries (0.01%-1% of extent, aspect 0.25-4, density-weighted)\n\n";
+
+  bench::run_sweep(pa, queries, /*hybrids=*/true, 1.0 / 8.0, 1000.0, std::cout);
+
+  std::cout << "\nPaper shape check: (1) fully-at-server[data@client] wins cycles at 2 Mbps\n"
+               "but wins energy only above ~6-8 Mbps; (2) filter@client/refine@server has\n"
+               "the lowest cycles among hybrids while filter@server/refine@client has the\n"
+               "lowest energy; (3) [data@server] variants pay heavily in NIC-Rx.\n";
+  return 0;
+}

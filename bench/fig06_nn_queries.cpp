@@ -1,0 +1,27 @@
+// Figure 6: nearest-neighbor queries on PA, C/S = 1/8, 1 km.
+//
+// NN has no separate filtering/refinement phases (Section 3), so only
+// the two "fully" schemes are compared.  Paper result: like point
+// queries, selectivity is tiny (one answer) and communication dominates,
+// so fully-at-client wins as long as index + data fit in client memory.
+#include <iostream>
+
+#include "figure_common.hpp"
+
+using namespace mosaiq;
+
+int main() {
+  std::cout << "=== Figure 6: Nearest Neighbor Queries (PA, C/S=1/8, 1 km) ===\n";
+  const workload::Dataset pa = workload::make_pa();
+  bench::print_dataset_banner(pa, std::cout);
+
+  workload::QueryGen gen(pa, 606);
+  const auto queries = gen.batch(rtree::QueryKind::NN, bench::kQueriesPerRun);
+  std::cout << bench::kQueriesPerRun << " NN queries (uniform points in the extent)\n\n";
+
+  bench::run_sweep(pa, queries, /*hybrids=*/false, 1.0 / 8.0, 1000.0, std::cout);
+
+  std::cout << "\nPaper shape check: fully-at-client wins energy and cycles at every\n"
+               "bandwidth; the fully-at-server profile is transmitter-dominated.\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 9: energy at 100 m client<->base-station distance (vs Figure 5
+// at 1 km) — range queries on PA, C/S = 1/8.
+//
+// Paper result to reproduce: transmit power drops from ~3.09 W to
+// ~1.09 W, so the transmission-heavy schemes (filter@client/
+// refine@server above all) become far more competitive in energy, while
+// cycles are unaffected (distance changes power, not time).
+#include <iostream>
+
+#include "figure_common.hpp"
+
+using namespace mosaiq;
+
+int main() {
+  std::cout << "=== Figure 9: Range Queries at 100 m Distance (PA, C/S=1/8) ===\n";
+  const workload::Dataset pa = workload::make_pa();
+  bench::print_dataset_banner(pa, std::cout);
+
+  workload::QueryGen gen(pa, 505);  // same workload seed as Figure 5
+  const auto queries = gen.batch(rtree::QueryKind::Range, bench::kQueriesPerRun);
+
+  std::cout << "\n--- 100 m (P_tx ~= 1.089 W) ---\n";
+  bench::run_sweep(pa, queries, /*hybrids=*/true, 1.0 / 8.0, 100.0, std::cout);
+
+  std::cout << "\n--- 1 km reference (P_tx ~= 3.089 W, as in Figure 5) ---\n";
+  bench::run_sweep(pa, queries, /*hybrids=*/true, 1.0 / 8.0, 1000.0, std::cout);
+
+  std::cout << "\nPaper shape check: NIC-Tx energy shrinks ~2.8x at 100 m; cycles columns\n"
+               "are identical between the two blocks; the tx-heavy hybrid closes most of\n"
+               "its energy gap to the other schemes.\n";
+  return 0;
+}

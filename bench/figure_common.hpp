@@ -1,0 +1,104 @@
+// Shared machinery for the figure-reproduction harnesses.
+//
+// Each bench/figNN_* binary regenerates one figure of the paper's
+// evaluation section: same workload protocol (100 runs per query type,
+// Section 5.4), same parameter sweeps (bandwidth 2/4/6/8/11 Mbps,
+// client ratio, distance), and prints the series the paper plots —
+// energy profile (Processor / NIC-Tx / NIC-Rx / NIC-Idle) and cycle
+// profile (Processor / NIC-Tx / NIC-Rx) per scheme and bandwidth.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "stats/parallel.hpp"
+#include "stats/table.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::bench {
+
+inline constexpr double kBandwidthsMbps[] = {2.0, 4.0, 6.0, 8.0, 11.0};
+inline constexpr std::size_t kQueriesPerRun = 100;  // Section 5.4
+
+struct SchemeVariant {
+  core::Scheme scheme;
+  bool data_at_client;
+  std::string label() const {
+    std::string l = core::name_of(scheme);
+    if (uses_server(scheme)) l += data_at_client ? " [data@client]" : " [data@server]";
+    return l;
+  }
+};
+
+/// The Table 1 adequate-memory design space in presentation order.
+inline std::vector<SchemeVariant> adequate_memory_variants(bool hybrids) {
+  std::vector<SchemeVariant> v = {
+      {core::Scheme::FullyAtClient, true},
+      {core::Scheme::FullyAtServer, false},
+      {core::Scheme::FullyAtServer, true},
+  };
+  if (hybrids) {
+    v.push_back({core::Scheme::FilterClientRefineServer, false});
+    v.push_back({core::Scheme::FilterClientRefineServer, true});
+    v.push_back({core::Scheme::FilterServerRefineClient, true});
+  }
+  return v;
+}
+
+inline core::SessionConfig make_config(const SchemeVariant& sv, double mbps,
+                                       double client_ratio = 1.0 / 8.0,
+                                       double distance_m = 1000.0) {
+  core::SessionConfig cfg;
+  cfg.scheme = sv.scheme;
+  cfg.placement.data_at_client = sv.data_at_client;
+  cfg.channel = {mbps, distance_m};
+  cfg.client = sim::client_at_ratio(client_ratio);
+  return cfg;
+}
+
+/// Runs the full scheme x bandwidth sweep for one query batch and prints
+/// the paper-style table.  The fully-at-client row (bandwidth-invariant,
+/// the figures' horizontal line) is printed first.  Cells are
+/// independent simulations over the shared immutable dataset, so they
+/// run on a thread pool; row order stays deterministic.
+inline void run_sweep(const workload::Dataset& data, std::span<const rtree::Query> queries,
+                      bool hybrids, double client_ratio, double distance_m,
+                      std::ostream& os) {
+  struct Cell {
+    SchemeVariant sv;
+    double mbps;
+    std::string label;
+  };
+  std::vector<Cell> cells;
+  for (const SchemeVariant& sv : adequate_memory_variants(hybrids)) {
+    if (sv.scheme == core::Scheme::FullyAtClient) {
+      cells.push_back({sv, kBandwidthsMbps[0], sv.label() + " (any BW)"});
+      continue;
+    }
+    for (const double mbps : kBandwidthsMbps) {
+      cells.push_back({sv, mbps, sv.label() + " @" + stats::fmt_fixed(mbps, 0) + "Mbps"});
+    }
+  }
+
+  const std::vector<stats::Outcome> outcomes = stats::parallel_map<stats::Outcome>(
+      cells.size(), [&](std::size_t i) {
+        const auto cfg = make_config(cells[i].sv, cells[i].mbps, client_ratio, distance_m);
+        return core::Session::run_batch(data, cfg, queries);
+      });
+
+  stats::Table table(stats::outcome_header());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    table.row(stats::outcome_row(cells[i].label, outcomes[i]));
+  }
+  table.print(os);
+}
+
+inline void print_dataset_banner(const workload::Dataset& d, std::ostream& os) {
+  os << "dataset " << d.name << ": " << d.store.size() << " segments, "
+     << stats::fmt_bytes(d.data_bytes()) << " data + " << stats::fmt_bytes(d.index_bytes())
+     << " index (" << d.tree.node_count() << " nodes, height " << d.tree.height() << ")\n";
+}
+
+}  // namespace mosaiq::bench

@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark): raw spatial-index throughput of
+// the host build — build time, filtering, refinement, and NN search —
+// independent of the simulation cost model.
+#include <benchmark/benchmark.h>
+
+#include "rtree/dynamic_rtree.hpp"
+#include "rtree/hilbert_rtree.hpp"
+#include "rtree/pmr_quadtree.hpp"
+#include "rtree/rstar_tree.hpp"
+#include "rtree/shipment.hpp"
+#include "workload/dataset.hpp"
+#include "workload/query_gen.hpp"
+
+using namespace mosaiq;
+
+namespace {
+
+const workload::Dataset& dataset(std::int64_t n) {
+  static workload::Dataset d10k = workload::make_pa(10000);
+  static workload::Dataset d50k = workload::make_pa(50000);
+  static workload::Dataset d139k = workload::make_pa(139006);
+  if (n <= 10000) return d10k;
+  if (n <= 50000) return d50k;
+  return d139k;
+}
+
+void BM_PackedBuild(benchmark::State& state) {
+  const workload::Dataset& d = dataset(state.range(0));
+  for (auto _ : state) {
+    auto tree = rtree::PackedRTree::build(d.store, rtree::SortOrder::PreSorted);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * d.store.size());
+}
+BENCHMARK(BM_PackedBuild)->Arg(10000)->Arg(50000)->Arg(139006)->Unit(benchmark::kMillisecond);
+
+void BM_FilterRange(benchmark::State& state) {
+  const workload::Dataset& d = dataset(state.range(0));
+  workload::QueryGen gen(d, 1);
+  std::vector<rtree::RangeQuery> qs;
+  for (int i = 0; i < 64; ++i) qs.push_back(gen.range_query());
+  std::size_t i = 0;
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    d.tree.filter_range(qs[i++ % qs.size()].window, rtree::null_hooks(), out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterRange)->Arg(10000)->Arg(139006);
+
+void BM_FilterPlusRefineRange(benchmark::State& state) {
+  const workload::Dataset& d = dataset(state.range(0));
+  workload::QueryGen gen(d, 2);
+  std::vector<rtree::RangeQuery> qs;
+  for (int i = 0; i < 64; ++i) qs.push_back(gen.range_query());
+  std::size_t i = 0;
+  std::vector<std::uint32_t> cand;
+  std::vector<std::uint32_t> ids;
+  for (auto _ : state) {
+    cand.clear();
+    ids.clear();
+    const auto& w = qs[i++ % qs.size()].window;
+    d.tree.filter_range(w, rtree::null_hooks(), cand);
+    rtree::refine_range(d.store, w, cand, rtree::null_hooks(), ids);
+    benchmark::DoNotOptimize(ids.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterPlusRefineRange)->Arg(10000)->Arg(139006);
+
+void BM_PointQuery(benchmark::State& state) {
+  const workload::Dataset& d = dataset(139006);
+  workload::QueryGen gen(d, 3);
+  std::vector<rtree::PointQuery> qs;
+  for (int i = 0; i < 64; ++i) qs.push_back(gen.point_query());
+  std::size_t i = 0;
+  std::vector<std::uint32_t> cand;
+  std::vector<std::uint32_t> ids;
+  for (auto _ : state) {
+    cand.clear();
+    ids.clear();
+    const auto p = qs[i++ % qs.size()].p;
+    d.tree.filter_point(p, rtree::null_hooks(), cand);
+    rtree::refine_point(d.store, p, cand, rtree::null_hooks(), ids);
+    benchmark::DoNotOptimize(ids.size());
+  }
+}
+BENCHMARK(BM_PointQuery);
+
+void BM_NearestNeighbor(benchmark::State& state) {
+  const workload::Dataset& d = dataset(139006);
+  workload::QueryGen gen(d, 4);
+  std::vector<rtree::NNQuery> qs;
+  for (int i = 0; i < 64; ++i) qs.push_back(gen.nn_query());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto r = d.tree.nearest(qs[i++ % qs.size()].p, d.store, rtree::null_hooks());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NearestNeighbor);
+
+void BM_DynamicInsertGuttman(benchmark::State& state) {
+  const workload::Dataset& d = dataset(10000);
+  for (auto _ : state) {
+    rtree::DynamicRTree t;
+    for (std::uint32_t i = 0; i < d.store.size(); ++i) t.insert(i, d.store.segment(i).mbr());
+    benchmark::DoNotOptimize(t.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * d.store.size());
+}
+BENCHMARK(BM_DynamicInsertGuttman)->Unit(benchmark::kMillisecond);
+
+void BM_DynamicInsertHilbert(benchmark::State& state) {
+  const workload::Dataset& d = dataset(10000);
+  for (auto _ : state) {
+    auto t = rtree::HilbertRTree::build(d.store);
+    benchmark::DoNotOptimize(t.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * d.store.size());
+}
+BENCHMARK(BM_DynamicInsertHilbert)->Unit(benchmark::kMillisecond);
+
+void BM_DynamicInsertRStar(benchmark::State& state) {
+  const workload::Dataset& d = dataset(10000);
+  for (auto _ : state) {
+    auto t = rtree::RStarTree::build(d.store);
+    benchmark::DoNotOptimize(t.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * d.store.size());
+}
+BENCHMARK(BM_DynamicInsertRStar)->Unit(benchmark::kMillisecond);
+
+void BM_QuadtreeBuild(benchmark::State& state) {
+  const workload::Dataset& d = dataset(10000);
+  for (auto _ : state) {
+    auto t = rtree::PmrQuadtree::build(d.store);
+    benchmark::DoNotOptimize(t.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * d.store.size());
+}
+BENCHMARK(BM_QuadtreeBuild)->Unit(benchmark::kMillisecond);
+
+void BM_ShipmentExtraction(benchmark::State& state) {
+  const workload::Dataset& d = dataset(139006);
+  workload::QueryGen gen(d, 5);
+  std::vector<rtree::RangeQuery> qs;
+  for (int i = 0; i < 16; ++i) qs.push_back(gen.range_query());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto s = rtree::extract_shipment(d.tree, d.store, qs[i++ % qs.size()].window,
+                                     {1u << 20}, rtree::ShipPolicy::HilbertRange,
+                                     rtree::null_hooks());
+    benchmark::DoNotOptimize(s.segments.size());
+  }
+  state.SetLabel("1MB budget");
+}
+BENCHMARK(BM_ShipmentExtraction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Microbenchmarks (google-benchmark): simulator substrate throughput —
+// cache simulator accesses, Hilbert key derivation, and the end-to-end
+// simulated query rate of the client CPU model.  These bound how large
+// a parameter sweep the figure harnesses can afford.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "hilbert/hilbert.hpp"
+#include "sim/cache.hpp"
+#include "sim/client_cpu.hpp"
+#include "workload/dataset.hpp"
+#include "workload/query_gen.hpp"
+
+using namespace mosaiq;
+
+namespace {
+
+void BM_CacheAccessSequential(benchmark::State& state) {
+  sim::Cache cache({8 * 1024, 4, 32});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr, false).hit);
+    addr += 4;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessSequential);
+
+void BM_CacheAccessRandom(benchmark::State& state) {
+  sim::Cache cache({8 * 1024, 4, 32});
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::uint64_t> u(0, (1u << 24) - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(u(rng), false).hit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccessRandom);
+
+void BM_HilbertKey(benchmark::State& state) {
+  const hilbert::Mapper mapper({{0, 0}, {1, 1}});
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.hilbert_key({u(rng), u(rng)}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HilbertKey);
+
+void BM_SimulatedRangeQueryOnClientModel(benchmark::State& state) {
+  static workload::Dataset d = workload::make_pa(50000);
+  workload::QueryGen gen(d, 3);
+  std::vector<rtree::RangeQuery> qs;
+  for (int i = 0; i < 64; ++i) qs.push_back(gen.range_query());
+  sim::ClientCpu cpu{sim::client_at_ratio(1.0 / 8.0)};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> ids;
+    const auto& w = qs[i++ % qs.size()].window;
+    d.tree.filter_range(w, cpu, cand);
+    rtree::refine_range(d.store, w, cand, cpu, ids);
+    benchmark::DoNotOptimize(ids.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("full client-CPU instrumentation");
+}
+BENCHMARK(BM_SimulatedRangeQueryOnClientModel);
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto segs = workload::generate_segments(workload::pa_spec(
+        static_cast<std::uint32_t>(state.range(0))));
+    benchmark::DoNotOptimize(segs.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DatasetGeneration)->Arg(10000)->Arg(139006)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

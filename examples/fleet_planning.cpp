@@ -1,0 +1,87 @@
+// Fleet planning: sizing a deployment with the fleet simulator, the
+// adaptive planner, and the battery model together.
+//
+// Scenario: an operator wants to put K field devices on one 2 Mbps cell
+// and asks (a) how many devices the cell supports before query latency
+// degrades, and (b) what a shift (8 h, one query per 30 s) costs each
+// device in battery under the candidate schemes.
+//
+//   $ ./examples/fleet_planning [max_clients]
+#include <cstdlib>
+#include <iostream>
+#include <tuple>
+
+#include "core/fleet.hpp"
+#include "sim/battery.hpp"
+#include "stats/table.hpp"
+
+using namespace mosaiq;
+
+int main(int argc, char** argv) {
+  const std::uint32_t max_clients =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 32;
+
+  std::cout << "Fleet planning on PA: one 2 Mbps cell, 1 km, clients at 125 MHz\n\n";
+  const workload::Dataset pa = workload::make_pa();
+
+  // (a) Cell capacity: latency vs fleet size for the offloaded scheme.
+  std::cout << "(a) cell capacity — fully-at-server [data@server] (thin clients):\n";
+  stats::Table t({"clients", "mean latency(s)", "p95(s)", "medium util", "verdict"});
+  core::SessionConfig cfg;
+  cfg.scheme = core::Scheme::FullyAtServer;
+  cfg.placement.data_at_client = false;
+  cfg.channel = {2.0, 1000.0};
+  cfg.client = sim::client_at_ratio(1.0 / 8.0);
+
+  double solo_latency = 0;
+  for (std::uint32_t k = 1; k <= max_clients; k *= 2) {
+    core::FleetConfig fleet;
+    fleet.clients = k;
+    fleet.queries_per_client = 10;
+    fleet.think_time_s = 2.0;
+    const core::FleetOutcome o = core::run_fleet(pa, cfg, fleet);
+    if (k == 1) solo_latency = o.mean_latency_s;
+    const bool ok = o.mean_latency_s < 2.0 * solo_latency;
+    t.row({std::to_string(k), stats::fmt_fixed(o.mean_latency_s, 3),
+           stats::fmt_fixed(o.p95_latency_s, 3), stats::fmt_pct(o.medium_utilization),
+           ok ? "ok" : "degraded"});
+  }
+  t.print(std::cout);
+
+  // (b) Battery per shift: scale a measured fleet run to an 8-hour shift.
+  std::cout << "\n(b) battery per 8 h shift (960 queries @ 1/30 s), 3.6 V x 1000 mAh:\n";
+  stats::Table t2({"scheme", "E/query(J)", "avg draw(W)", "shift draw", "shifts/charge"});
+  using Row = std::tuple<core::Scheme, bool, const char*>;
+  for (const auto& [scheme, data_at_client, label] :
+       {Row(core::Scheme::FullyAtClient, true, "fully-at-client"),
+        Row(core::Scheme::FullyAtServer, true, "fully-at-server [data@client]"),
+        Row(core::Scheme::FullyAtServer, false, "thin client")}) {
+    core::SessionConfig scfg = cfg;
+    scfg.scheme = scheme;
+    scfg.placement.data_at_client = data_at_client;
+    core::FleetConfig fleet;
+    fleet.clients = 4;
+    fleet.queries_per_client = 20;
+    fleet.think_time_s = 2.0;
+    const core::FleetOutcome o = core::run_fleet(pa, scfg, fleet);
+    const double e_query = o.mean_client_energy_j / fleet.queries_per_client;
+
+    const double shift_s = 8 * 3600;
+    const double queries_per_shift = shift_s / 30.0;
+    const double shift_joules =
+        e_query * queries_per_shift + 0.0198 * shift_s;  // NIC sleep floor between queries
+    const double draw_w = shift_joules / shift_s;
+
+    sim::Battery battery;
+    const double shifts =
+        battery.config().usable_joules(draw_w) / std::max(shift_joules, 1e-9);
+    t2.row({std::string(label), stats::fmt_joules(e_query), stats::fmt_fixed(draw_w, 3),
+            stats::fmt_joules(shift_joules) + "J", stats::fmt_fixed(shifts, 1)});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\nReading: the cell holds the fleet until medium utilization climbs toward\n"
+               "saturation; per device, the thin client trades multiple shifts of battery\n"
+               "life for zero local storage — the paper's Table 1 trade-off, priced.\n";
+  return 0;
+}

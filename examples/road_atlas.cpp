@@ -1,0 +1,86 @@
+// Road-atlas session: the paper's motivating application (Section 1).
+//
+// Simulates a mobile navigation session — a user on the road issuing a
+// mix of "what street is this?" (point), "magnify this area" (range)
+// and "nearest street to me" (NN) queries — and reports what each
+// work-partitioning scheme costs in battery terms for the whole session
+// and how long a typical PDA battery would last.
+//
+//   $ ./examples/road_atlas [n_sessions]
+#include <cstdlib>
+#include <iostream>
+#include <random>
+#include <tuple>
+
+#include "core/session.hpp"
+#include "stats/table.hpp"
+#include "workload/query_gen.hpp"
+
+using namespace mosaiq;
+
+namespace {
+
+/// A session: the user pans around an area, inspects streets, asks for
+/// the nearest road a few times.
+std::vector<rtree::Query> make_session(const workload::Dataset& data, std::uint64_t seed,
+                                       std::size_t interactions) {
+  workload::QueryGen gen(data, seed);
+  std::mt19937_64 rng(seed * 31 + 1);
+  std::uniform_int_distribution<int> kind(0, 9);
+  std::vector<rtree::Query> qs;
+  for (std::size_t i = 0; i < interactions; ++i) {
+    const int k = kind(rng);
+    if (k < 5) {
+      qs.emplace_back(gen.range_query());  // panning/magnifying dominates
+    } else if (k < 8) {
+      qs.emplace_back(gen.point_query());
+    } else {
+      qs.emplace_back(gen.nn_query());
+    }
+  }
+  return qs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t interactions =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+
+  std::cout << "Road-atlas session on the PA dataset (" << interactions
+            << " interactions: ~50% range, ~30% point, ~20% NN)\n";
+  const workload::Dataset pa = workload::make_pa();
+  const auto session_queries = make_session(pa, 7, interactions);
+
+  // A PDA-class battery: 3.6 V x 1000 mAh ~= 13 kJ, of which we budget
+  // 20% for the query workload (the display owns the rest).
+  constexpr double kBatteryJ = 13000.0 * 0.20;
+
+  std::cout << "channel: 4 Mbps, 1 km to base station; client at 125 MHz (C/S=1/8)\n\n";
+  stats::Table t({"scheme", "E_session(J)", "latency(s)", "sessions/battery", "tx", "rx"});
+
+  // NN forces the "fully" schemes; hybrids get the mixed stream minus NN.
+  using Row = std::tuple<core::Scheme, bool, const char*>;
+  for (const auto& [scheme, data_at_client, label] :
+       {Row(core::Scheme::FullyAtClient, true, "fully-at-client"),
+        Row(core::Scheme::FullyAtServer, true, "fully-at-server [data@client]"),
+        Row(core::Scheme::FullyAtServer, false, "fully-at-server [thin client]")}) {
+    core::SessionConfig cfg;
+    cfg.scheme = scheme;
+    cfg.placement.data_at_client = data_at_client;
+    cfg.channel = {4.0, 1000.0};
+    cfg.client = sim::client_at_ratio(1.0 / 8.0);
+    const stats::Outcome o = core::Session::run_batch(pa, cfg, session_queries);
+    t.row({std::string(label), stats::fmt_joules(o.energy.total_j()), stats::fmt_fixed(o.wall_seconds, 2),
+           stats::fmt_fixed(kBatteryJ / o.energy.total_j(), 0), stats::fmt_bytes(o.bytes_tx),
+           stats::fmt_bytes(o.bytes_rx)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nTakeaway (paper Section 7): for an interactive atlas whose queries are\n"
+               "mostly small, keep index and data on the device — the wireless interface,\n"
+               "above all its transmitter, dwarfs the CPU's energy for this workload.\n"
+               "The thin-client configuration trades a ~10x battery-life hit for zero\n"
+               "storage: exactly the trade-off the work-partitioning schemes navigate.\n";
+  return 0;
+}

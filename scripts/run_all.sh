@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate everything: build, tests, every figure/ablation/extension
+# bench.  Outputs land in test_output.txt and bench_output.txt at the
+# repository root (the files EXPERIMENTS.md numbers come from).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,145 @@
+#include "cli/args.hpp"
+
+#include <sstream>
+
+namespace mosaiq::cli {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::option(std::string name, std::string help, std::string default_value) {
+  specs_.push_back({std::move(name), std::move(help), std::move(default_value), false});
+  return *this;
+}
+
+ArgParser& ArgParser::required(std::string name, std::string help) {
+  specs_.push_back({std::move(name), std::move(help), "", false});
+  return *this;
+}
+
+ArgParser& ArgParser::flag(std::string name, std::string help) {
+  specs_.push_back({std::move(name), std::move(help), "", true});
+  return *this;
+}
+
+ArgParser& ArgParser::positional(std::string name, std::string help) {
+  positional_names_.push_back(std::move(name));
+  positional_helps_.push_back(std::move(help));
+  return *this;
+}
+
+const ArgSpec* ArgParser::find(const std::string& name) const {
+  for (const ArgSpec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  values_.clear();
+  positional_values_.clear();
+
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok == "--help" || tok == "-h") throw HelpRequested(usage());
+    if (tok.rfind("--", 0) == 0) {
+      std::string name = tok.substr(2);
+      std::string value;
+      bool has_inline = false;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_inline = true;
+      }
+      const ArgSpec* spec = find(name);
+      if (spec == nullptr) {
+        throw std::invalid_argument("unknown option --" + name + "\n" + usage());
+      }
+      if (spec->is_flag) {
+        if (has_inline) {
+          throw std::invalid_argument("flag --" + name + " takes no value\n" + usage());
+        }
+        values_[name] = "1";
+        continue;
+      }
+      if (!has_inline) {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("option --" + name + " needs a value\n" + usage());
+        }
+        value = argv[++i];
+      }
+      values_[name] = value;
+    } else {
+      positional_values_.push_back(tok);
+    }
+  }
+
+  for (const ArgSpec& s : specs_) {
+    if (values_.contains(s.name)) continue;
+    if (s.is_flag) continue;
+    if (s.default_value.empty()) {
+      throw std::invalid_argument("missing required option --" + s.name + "\n" + usage());
+    }
+    values_[s.name] = s.default_value;
+  }
+  if (positional_values_.size() < positional_names_.size()) {
+    throw std::invalid_argument("missing positional argument <" +
+                                positional_names_[positional_values_.size()] + ">\n" + usage());
+  }
+}
+
+bool ArgParser::has(const std::string& name) const { return values_.contains(name); }
+
+std::string ArgParser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw std::invalid_argument("option --" + name + " was not provided");
+  }
+  return it->second;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const double d = std::stod(v, &pos);
+  if (pos != v.size()) throw std::invalid_argument("--" + name + ": not a number: " + v);
+  return d;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  const std::int64_t i = std::stoll(v, &pos);
+  if (pos != v.size()) throw std::invalid_argument("--" + name + ": not an integer: " + v);
+  return i;
+}
+
+bool ArgParser::get_flag(const std::string& name) const { return values_.contains(name); }
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_;
+  for (const std::string& p : positional_names_) os << " <" << p << ">";
+  os << " [options]\n";
+  if (!description_.empty()) os << description_ << "\n";
+  if (!positional_names_.empty()) {
+    os << "\narguments:\n";
+    for (std::size_t i = 0; i < positional_names_.size(); ++i) {
+      os << "  <" << positional_names_[i] << ">  " << positional_helps_[i] << "\n";
+    }
+  }
+  if (!specs_.empty()) {
+    os << "\noptions:\n";
+    for (const ArgSpec& s : specs_) {
+      os << "  --" << s.name;
+      if (!s.is_flag) {
+        os << " <value>";
+        if (!s.default_value.empty()) os << " (default " << s.default_value << ")";
+      }
+      os << "  " << s.help << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mosaiq::cli

@@ -1,0 +1,62 @@
+// Minimal dependency-free command-line argument parser for the mosaiq
+// driver tool: --key value and --key=value long options plus positional
+// arguments, with typed accessors, defaults, and a generated usage
+// string.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mosaiq::cli {
+
+struct ArgSpec {
+  std::string name;         ///< long option name without the leading "--"
+  std::string help;
+  std::string default_value;  ///< empty = required unless flag
+  bool is_flag = false;       ///< presence-only option
+};
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description = "");
+
+  ArgParser& option(std::string name, std::string help, std::string default_value);
+  ArgParser& required(std::string name, std::string help);
+  ArgParser& flag(std::string name, std::string help);
+  ArgParser& positional(std::string name, std::string help);
+
+  /// Parses argv; throws std::invalid_argument with a message (and the
+  /// usage text) on unknown options, missing values, or missing
+  /// required arguments.  "--help" raises HelpRequested.
+  void parse(int argc, const char* const* argv);
+
+  struct HelpRequested : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+  const std::vector<std::string>& positionals() const { return positional_values_; }
+
+  std::string usage() const;
+
+ private:
+  const ArgSpec* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<ArgSpec> specs_;
+  std::vector<std::string> positional_names_;
+  std::vector<std::string> positional_helps_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_values_;
+};
+
+}  // namespace mosaiq::cli

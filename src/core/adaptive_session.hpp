@@ -1,0 +1,41 @@
+// Adaptive work partitioning: pick the best Table-1 scheme per query,
+// online, using the Section 4.1 planner (core/planner.hpp).  The choice
+// is made on the client with its own (charged) estimation work; the
+// execution then runs through the normal Session machinery.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/planner.hpp"
+#include "core/session.hpp"
+
+namespace mosaiq::core {
+
+class AdaptiveSession {
+ public:
+  AdaptiveSession(const workload::Dataset& dataset, const SessionConfig& base,
+                  Objective objective);
+
+  void run_query(const rtree::Query& q);
+
+  stats::Outcome outcome() { return session_.outcome(); }
+
+  /// How often each scheme was chosen so far.
+  const std::array<std::uint32_t, 4>& choices() const { return choices_; }
+  std::uint32_t chosen(Scheme s) const { return choices_[static_cast<std::size_t>(s)]; }
+
+  const Planner& planner() const { return planner_; }
+
+ private:
+  Session session_;
+  Planner planner_;
+  Objective objective_;
+  std::array<std::uint32_t, 4> choices_{};
+};
+
+/// Mutable access to the Session's client CPU is intentionally not
+/// exposed; the planner charges its estimation work through the same
+/// ExecHooks interface inside run_query.
+
+}  // namespace mosaiq::core

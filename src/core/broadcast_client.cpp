@@ -1,0 +1,124 @@
+#include "core/broadcast_client.hpp"
+
+#include <cmath>
+
+#include "serial/messages.hpp"
+
+namespace mosaiq::core {
+
+BroadcastClient::BroadcastClient(const workload::Dataset& master, const SessionConfig& base,
+                                 const net::BroadcastProgram& program,
+                                 BroadcastClientConfig cfg)
+    : master_(master),
+      cfg_(base),
+      program_(program),
+      bcfg_(cfg),
+      client_((validate_config(base), base.client)),
+      server_(base.server),
+      transport_(base.channel, base.nic_power, base.protocol, base.wait_policy, client_,
+                 server_),
+      bc_nic_(base.nic_power, base.channel.distance_m) {}
+
+void BroadcastClient::run_local(const rtree::RangeQuery& q) {
+  std::vector<std::uint32_t> cand;
+  std::vector<std::uint32_t> ids;
+  cached_tree_.filter_range(q.window, client_, cand);
+  rtree::refine_range(cached_store_, q.window, cand, client_, ids);
+  answers_ += ids.size();
+  transport_.settle_sleep();
+}
+
+void BroadcastClient::tune_and_run(std::size_t region, const rtree::RangeQuery& q) {
+  const double client_hz = cfg_.client.clock_hz();
+  const double bytes_per_s = program_.bandwidth_mbps * 1e6 / 8.0;
+  const net::BroadcastRegion& r = program_.regions[region];
+
+  // IDLE until the next index replica, receive it, doze to the bucket,
+  // receive the bucket.  The client never transmits.
+  const double t_wait = program_.mean_index_wait_s();
+  const double t_index = program_.index_s();
+  const double t_doze = program_.mean_doze_s(region);
+  const double t_bucket = static_cast<double>(r.bucket_bytes) / bytes_per_s;
+
+  bc_wall_seconds_ += bc_nic_.sleep_exit();
+  bc_nic_.spend(net::NicState::Idle, t_wait);
+  bc_nic_.spend(net::NicState::Receive, t_index);
+  bc_nic_.spend(net::NicState::Sleep, t_doze);
+  bc_nic_.spend(net::NicState::Receive, t_bucket);
+  client_.wait_seconds(t_wait + t_index + t_doze + t_bucket, cfg_.wait_policy);
+  bc_wall_seconds_ += t_wait + t_index + t_doze + t_bucket;
+  bc_cycles_.wait += static_cast<std::uint64_t>(std::llround((t_wait + t_doze) * client_hz));
+  bc_cycles_.nic_rx +=
+      static_cast<std::uint64_t>(std::llround((t_index + t_bucket) * client_hz));
+  bc_bytes_rx_ += program_.index_bytes + r.bucket_bytes;
+
+  // Unpack: directory + bucket payload pass through the protocol stack.
+  net::charge_protocol_rx(net::wire_cost(program_.index_bytes, cfg_.protocol), client_);
+  net::charge_protocol_rx(net::wire_cost(r.bucket_bytes, cfg_.protocol), client_);
+
+  // Install the bucket as the local store + index.
+  std::vector<geom::Segment> segs;
+  std::vector<std::uint32_t> ids;
+  segs.reserve(r.records.size());
+  ids.reserve(r.records.size());
+  for (const std::uint32_t rec : r.records) {
+    segs.push_back(master_.store.segment(rec));
+    ids.push_back(master_.store.id(rec));
+  }
+  cached_store_ = rtree::SegmentStore(std::move(segs), ids);
+  cached_tree_ = rtree::PackedRTree::build(cached_store_, rtree::SortOrder::PreSorted);
+  cached_region_ = region;
+  ++tunes_;
+
+  run_local(q);
+}
+
+void BroadcastClient::fallback(const rtree::RangeQuery& q) {
+  serial::QueryRequest req;
+  req.op = serial::RemoteOp::FullQuery;
+  req.query = rtree::Query{q};
+  req.client_has_data = false;
+
+  transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> ids;
+    master_.tree.filter_range(q.window, server_, cand);
+    rtree::refine_range(master_.store, q.window, cand, server_, ids);
+    answers_ += ids.size();
+    serial::RecordResponse resp;
+    resp.records.resize(ids.size());
+    return resp.encoded_size();
+  });
+  ++fallbacks_;
+}
+
+void BroadcastClient::run_query(const rtree::RangeQuery& q) {
+  if (bcfg_.cache_bucket && cached_region_ &&
+      program_.regions[*cached_region_].rect.contains(q.window)) {
+    ++cache_hits_;
+    run_local(q);
+    return;
+  }
+  const auto region = program_.region_for(q.window);
+  if (region) {
+    tune_and_run(*region, q);
+  } else {
+    fallback(q);
+  }
+}
+
+stats::Outcome BroadcastClient::outcome() {
+  stats::Outcome o = transport_.snapshot();
+  o.cycles += bc_cycles_;
+  o.cycles.processor = client_.busy_cycles();
+  o.energy.nic_rx_j += bc_nic_.joules_in(net::NicState::Receive);
+  o.energy.nic_idle_j += bc_nic_.joules_in(net::NicState::Idle);
+  o.energy.nic_sleep_j += bc_nic_.joules_in(net::NicState::Sleep);
+  o.energy.processor_j = client_.energy().total_j();
+  o.bytes_rx += bc_bytes_rx_;
+  o.answers = answers_;
+  o.wall_seconds += bc_wall_seconds_;
+  return o;
+}
+
+}  // namespace mosaiq::core

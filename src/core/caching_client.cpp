@@ -1,0 +1,79 @@
+#include "core/caching_client.hpp"
+
+#include "serial/messages.hpp"
+
+namespace mosaiq::core {
+
+CachingClient::CachingClient(const workload::Dataset& master, const SessionConfig& base,
+                             const CachingConfig& caching)
+    : master_(master),
+      cfg_(base),
+      caching_(caching),
+      client_((validate_config(base), base.client)),
+      server_(base.server),
+      transport_(base.channel, base.nic_power, base.protocol, base.wait_policy, client_,
+                 server_) {}
+
+std::uint64_t CachingClient::cached_bytes() const {
+  if (!has_cache_) return 0;
+  return cached_store_.bytes() + cached_tree_.bytes();
+}
+
+void CachingClient::run_local(const rtree::RangeQuery& q) {
+  std::vector<std::uint32_t> cand;
+  std::vector<std::uint32_t> ids;
+  cached_tree_.filter_range(q.window, client_, cand);
+  rtree::refine_range(cached_store_, q.window, cand, client_, ids);
+  answers_ += ids.size();
+  transport_.settle_sleep();
+}
+
+void CachingClient::fetch_and_run(const rtree::RangeQuery& q) {
+  // Discard whatever was cached (paper: "it throws away all the data it
+  // has") and request a fresh shipment sized to the budget.
+  has_cache_ = false;
+
+  serial::QueryRequest req;
+  req.op = serial::RemoteOp::ShipRegion;
+  req.query = q;
+  req.client_has_data = false;
+  req.mem_budget = caching_.budget_bytes;
+
+  rtree::Shipment shipment;
+  transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
+    shipment = rtree::extract_shipment(master_.tree, master_.store, q.window,
+                                       {caching_.budget_bytes}, caching_.policy, server_);
+    serial::ShipmentResponse resp;
+    resp.safe_rect = shipment.safe_rect;
+    resp.node_count = shipment.node_count;
+    resp.records.resize(shipment.segments.size());
+    return resp.encoded_size();
+  });
+
+  // Install: the receive path already copied the payload into client
+  // memory; the shipment becomes the client's store + index in place.
+  cached_store_ = rtree::SegmentStore(std::move(shipment.segments), shipment.ids);
+  cached_tree_ = rtree::PackedRTree::build(cached_store_, rtree::SortOrder::PreSorted);
+  safe_rect_ = shipment.safe_rect;
+  has_cache_ = true;
+  ++fetches_;
+
+  run_local(q);
+}
+
+void CachingClient::run_query(const rtree::RangeQuery& q) {
+  if (has_cache_ && safe_rect_.contains(q.window)) {
+    ++local_hits_;
+    run_local(q);
+    return;
+  }
+  fetch_and_run(q);
+}
+
+stats::Outcome CachingClient::outcome() {
+  stats::Outcome o = transport_.snapshot();
+  o.answers = answers_;
+  return o;
+}
+
+}  // namespace mosaiq::core

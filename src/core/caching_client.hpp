@@ -1,0 +1,68 @@
+// Insufficient-memory scenario, "fully at the client" scheme (paper
+// Section 6.2): the client holds only as much data + index as its
+// memory budget x admits.
+//
+// The first query goes to the server, which ships back the answer
+// region plus proximate data and a sub-index sized to the budget
+// (rtree::extract_shipment, the paper's Figure-2 algorithm).  The
+// client installs the shipment and answers subsequent queries locally
+// while they fall inside the shipment's safe rectangle; a query outside
+// it discards the cache and re-requests a fresh shipment.  With enough
+// spatial proximity between successive queries the shipping cost
+// amortizes — the effect Figure 10 sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "core/session.hpp"
+#include "rtree/shipment.hpp"
+
+namespace mosaiq::core {
+
+struct CachingConfig {
+  std::uint64_t budget_bytes = 1u << 20;  ///< client memory for data + index
+  rtree::ShipPolicy policy = rtree::ShipPolicy::HilbertRange;
+};
+
+class CachingClient {
+ public:
+  CachingClient(const workload::Dataset& master, const SessionConfig& base,
+                const CachingConfig& caching);
+
+  /// Executes one range query (the Figure-10 workload is range-only).
+  void run_query(const rtree::RangeQuery& q);
+
+  stats::Outcome outcome();
+
+  std::uint32_t local_hits() const { return local_hits_; }
+  std::uint32_t fetches() const { return fetches_; }
+  const sim::ClientCpu& client_cpu() const { return client_; }
+
+  /// Current cached coverage (empty before the first fetch).
+  const geom::Rect& safe_rect() const { return safe_rect_; }
+
+  /// Bytes of the currently cached data + index (always <= budget).
+  std::uint64_t cached_bytes() const;
+
+ private:
+  void run_local(const rtree::RangeQuery& q);
+  void fetch_and_run(const rtree::RangeQuery& q);
+
+  const workload::Dataset& master_;
+  SessionConfig cfg_;
+  CachingConfig caching_;
+  sim::ClientCpu client_;
+  sim::ServerCpu server_;
+  Transport transport_;
+
+  rtree::SegmentStore cached_store_;
+  rtree::PackedRTree cached_tree_;
+  geom::Rect safe_rect_ = geom::Rect::empty();
+  bool has_cache_ = false;
+
+  std::uint64_t answers_ = 0;
+  std::uint32_t local_hits_ = 0;
+  std::uint32_t fetches_ = 0;
+};
+
+}  // namespace mosaiq::core

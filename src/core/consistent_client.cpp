@@ -1,0 +1,174 @@
+#include "core/consistent_client.hpp"
+
+#include <cmath>
+
+#include "serial/messages.hpp"
+
+namespace mosaiq::core {
+
+namespace {
+
+/// Version probe: op byte + rect (32 B) + snapshot version (8 B).
+constexpr std::uint64_t kProbeBytes = 1 + 32 + 8;
+/// Probe reply: fresh/stale byte + current version.
+constexpr std::uint64_t kProbeReplyBytes = 1 + 8;
+/// Invalidation push payload: region id + version.
+constexpr std::uint64_t kPushBytes = 12;
+
+}  // namespace
+
+ConsistentCachingClient::ConsistentCachingClient(VersionedServer& server,
+                                                 const SessionConfig& base,
+                                                 const ConsistencyConfig& consistency)
+    : server_(server),
+      cfg_(base),
+      ccfg_(consistency),
+      client_((validate_config(base), base.client)),
+      server_cpu_(base.server),
+      transport_(base.channel, base.nic_power, base.protocol, base.wait_policy, client_,
+                 server_cpu_),
+      extra_nic_(base.nic_power, base.channel.distance_m) {}
+
+void ConsistentCachingClient::advance_think_time() {
+  const double t = ccfg_.think_time_s;
+  if (t <= 0) return;
+  // Leased caches must keep the NIC reachable for invalidation pushes.
+  const bool listening =
+      ccfg_.policy == ConsistencyPolicy::Lease && has_cache_ && !invalidated_;
+  extra_nic_.spend(listening ? net::NicState::Idle : net::NicState::Sleep, t);
+  client_.wait_seconds(t, sim::WaitPolicy::BlockLowPower);
+  extra_wall_s_ += t;
+}
+
+void ConsistentCachingClient::run_local(const rtree::RangeQuery& q, bool count_staleness) {
+  std::vector<std::uint32_t> cand;
+  std::vector<std::uint32_t> ids;
+  cached_tree_.filter_range(q.window, client_, cand);
+  rtree::refine_range(cached_store_, q.window, cand, client_, ids);
+  answers_ += ids.size();
+  ++local_hits_;
+  if (count_staleness && !server_.fresh(q.window, snapshot_version_)) ++stale_answers_;
+  transport_.settle_sleep();
+}
+
+void ConsistentCachingClient::fetch_and_run(const rtree::RangeQuery& q) {
+  has_cache_ = false;
+  invalidated_ = false;
+
+  serial::QueryRequest req;
+  req.op = serial::RemoteOp::ShipRegion;
+  req.query = rtree::Query{q};
+  req.client_has_data = false;
+  req.mem_budget = ccfg_.budget_bytes;
+
+  rtree::Shipment shipment;
+  transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
+    shipment = rtree::extract_shipment(server_.dataset().tree, server_.dataset().store,
+                                       q.window, {ccfg_.budget_bytes}, ccfg_.ship_policy,
+                                       server_cpu_);
+    serial::ShipmentResponse resp;
+    resp.safe_rect = shipment.safe_rect;
+    resp.node_count = shipment.node_count;
+    resp.records.resize(shipment.segments.size());
+    return resp.encoded_size();
+  });
+
+  cached_store_ = rtree::SegmentStore(std::move(shipment.segments), shipment.ids);
+  cached_tree_ = rtree::PackedRTree::build(cached_store_, rtree::SortOrder::PreSorted);
+  safe_rect_ = shipment.safe_rect;
+  snapshot_version_ = server_.snapshot(safe_rect_);
+  has_cache_ = true;
+  queries_since_fetch_ = 0;
+  ++fetches_;
+
+  std::vector<std::uint32_t> cand;
+  std::vector<std::uint32_t> ids;
+  cached_tree_.filter_range(q.window, client_, cand);
+  rtree::refine_range(cached_store_, q.window, cand, client_, ids);
+  answers_ += ids.size();
+  transport_.settle_sleep();
+}
+
+bool ConsistentCachingClient::revalidate(const rtree::RangeQuery& q) {
+  ++revalidations_;
+  bool fresh = false;
+  transport_.exchange(kProbeBytes, [&]() -> std::uint64_t {
+    // Version lookup on the server: a handful of tile reads.
+    server_cpu_.instr(rtree::InstrMix{60, 0, 20});
+    server_cpu_.read(rtree::simaddr::kScratchBase + (16u << 20), 64);
+    fresh = server_.fresh(q.window, snapshot_version_);
+    return kProbeReplyBytes;
+  });
+  return fresh;
+}
+
+void ConsistentCachingClient::notify_update(const geom::Point& where) {
+  if (ccfg_.policy != ConsistencyPolicy::Lease || !has_cache_ || invalidated_) return;
+  if (!safe_rect_.contains(where)) return;
+  // The push arrives on the listening NIC; the client unpacks it.
+  const net::WireCost push = net::wire_cost(kPushBytes, cfg_.protocol);
+  const double t_rx =
+      static_cast<double>(push.wire_bits()) / (cfg_.channel.bandwidth_mbps * 1e6);
+  extra_nic_.spend(net::NicState::Receive, t_rx);
+  net::charge_protocol_rx(push, client_);
+  extra_cycles_.nic_rx += static_cast<std::uint64_t>(
+      std::llround(t_rx * cfg_.client.clock_hz()));
+  extra_wall_s_ += t_rx;
+  extra_bytes_rx_ += push.wire_bytes;
+  invalidated_ = true;
+  ++pushes_;
+  transport_.settle_sleep();
+}
+
+void ConsistentCachingClient::run_query(const rtree::RangeQuery& q) {
+  advance_think_time();
+  ++queries_since_fetch_;
+
+  if (!has_cache_ || !safe_rect_.contains(q.window)) {
+    fetch_and_run(q);
+    return;
+  }
+
+  switch (ccfg_.policy) {
+    case ConsistencyPolicy::None:
+      run_local(q, /*count_staleness=*/true);
+      return;
+    case ConsistencyPolicy::Lease:
+      if (invalidated_) {
+        fetch_and_run(q);
+      } else {
+        run_local(q, /*count_staleness=*/false);  // pushes guarantee freshness
+      }
+      return;
+    case ConsistencyPolicy::Ttl:
+      if (queries_since_fetch_ <= ccfg_.ttl_queries) {
+        run_local(q, /*count_staleness=*/true);
+        return;
+      }
+      [[fallthrough]];
+    case ConsistencyPolicy::Revalidate:
+      if (revalidate(q)) {
+        queries_since_fetch_ = 0;  // restart the TTL clock after a fresh probe
+        run_local(q, /*count_staleness=*/false);
+      } else {
+        fetch_and_run(q);
+      }
+      return;
+  }
+}
+
+stats::Outcome ConsistentCachingClient::outcome() {
+  stats::Outcome o = transport_.snapshot();
+  o.cycles += extra_cycles_;
+  o.cycles.processor = client_.busy_cycles();
+  o.energy.processor_j = client_.energy().total_j();
+  o.energy.nic_rx_j += extra_nic_.joules_in(net::NicState::Receive);
+  o.energy.nic_idle_j += extra_nic_.joules_in(net::NicState::Idle);
+  o.energy.nic_sleep_j += extra_nic_.joules_in(net::NicState::Sleep);
+  o.bytes_rx += extra_bytes_rx_;
+  o.answers = answers_;
+  o.wall_seconds += extra_wall_s_;
+  return o;
+}
+
+}  // namespace mosaiq::core

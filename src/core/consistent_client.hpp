@@ -1,0 +1,105 @@
+// Insufficient-memory caching client under an UPDATE STREAM — the paper
+// Section 7 scenario where cached data can go stale and "the latest copy
+// needs to be obtained from server".
+//
+// Four consistency policies, spanning the energy/staleness trade-off:
+//
+//   None        answer locally while the window fits the cache; never
+//               check freshness (stale answers are counted, not fixed).
+//   Revalidate  every locally-answerable query first sends a tiny
+//               version probe; a stale reply triggers a full refetch.
+//               Always fresh, but every query touches the transmitter.
+//   Ttl         like None for the first `ttl_queries` after a fetch,
+//               then like Revalidate.  Bounded staleness, bounded probes.
+//   Lease       the server pushes an invalidation when an update lands
+//               under the leased safe rectangle; always fresh with zero
+//               probes, but the NIC must hold IDLE instead of sleeping
+//               (including across inter-query think time) to hear the
+//               push.
+#pragma once
+
+#include <cstdint>
+
+#include "core/session.hpp"
+#include "core/versioning.hpp"
+#include "rtree/shipment.hpp"
+
+namespace mosaiq::core {
+
+enum class ConsistencyPolicy : std::uint8_t { None, Revalidate, Ttl, Lease };
+
+inline const char* name_of(ConsistencyPolicy p) {
+  switch (p) {
+    case ConsistencyPolicy::None: return "none";
+    case ConsistencyPolicy::Revalidate: return "revalidate";
+    case ConsistencyPolicy::Ttl: return "ttl";
+    case ConsistencyPolicy::Lease: return "lease";
+  }
+  return "?";
+}
+
+struct ConsistencyConfig {
+  ConsistencyPolicy policy = ConsistencyPolicy::Revalidate;
+  std::uint32_t ttl_queries = 10;     ///< Ttl: local answers between probes
+  std::uint64_t budget_bytes = 1u << 20;
+  rtree::ShipPolicy ship_policy = rtree::ShipPolicy::HilbertRange;
+  /// User think time between successive queries (seconds); this is when
+  /// the Lease policy pays its idle-listening bill.
+  double think_time_s = 2.0;
+};
+
+class ConsistentCachingClient {
+ public:
+  ConsistentCachingClient(VersionedServer& server, const SessionConfig& base,
+                          const ConsistencyConfig& consistency);
+
+  /// Executes one range query (advancing think time first).
+  void run_query(const rtree::RangeQuery& q);
+
+  /// Driver hook: an update was applied at the server.  Under Lease the
+  /// server pushes an invalidation if it lands under the leased rect.
+  void notify_update(const geom::Point& where);
+
+  stats::Outcome outcome();
+
+  std::uint32_t fetches() const { return fetches_; }
+  std::uint32_t local_hits() const { return local_hits_; }
+  std::uint32_t revalidations() const { return revalidations_; }
+  std::uint32_t stale_answers() const { return stale_answers_; }
+  std::uint32_t invalidation_pushes() const { return pushes_; }
+
+ private:
+  void advance_think_time();
+  void run_local(const rtree::RangeQuery& q, bool count_staleness);
+  void fetch_and_run(const rtree::RangeQuery& q);
+  /// Sends the version probe; returns true when the cache is fresh.
+  bool revalidate(const rtree::RangeQuery& q);
+
+  VersionedServer& server_;
+  SessionConfig cfg_;
+  ConsistencyConfig ccfg_;
+  sim::ClientCpu client_;
+  sim::ServerCpu server_cpu_;
+  Transport transport_;
+  net::Nic extra_nic_;  ///< think-time + push accounting
+
+  rtree::SegmentStore cached_store_;
+  rtree::PackedRTree cached_tree_;
+  geom::Rect safe_rect_ = geom::Rect::empty();
+  bool has_cache_ = false;
+  bool invalidated_ = false;
+  std::uint64_t snapshot_version_ = 0;
+  std::uint32_t queries_since_fetch_ = 0;
+
+  std::uint64_t answers_ = 0;
+  std::uint32_t fetches_ = 0;
+  std::uint32_t local_hits_ = 0;
+  std::uint32_t revalidations_ = 0;
+  std::uint32_t stale_answers_ = 0;
+  std::uint32_t pushes_ = 0;
+  double extra_wall_s_ = 0;
+  stats::CycleBreakdown extra_cycles_;
+  std::uint64_t extra_bytes_rx_ = 0;
+};
+
+}  // namespace mosaiq::core

@@ -1,0 +1,282 @@
+#include "core/fleet.hpp"
+
+#include "core/query_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "serial/messages.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::core {
+
+namespace {
+
+/// One client's per-query communication demands (computed when the
+/// query's client-side work runs).
+struct Demand {
+  double tx_air_s = 0;
+  double rx_air_s = 0;
+  bool remote = false;
+  std::vector<std::uint32_t> candidates;  // for refine-at-server schemes
+};
+
+struct Client {
+  std::unique_ptr<sim::ClientCpu> cpu;
+  net::Nic nic;
+  std::vector<rtree::Query> queries;
+  std::size_t next_query = 0;
+  double ready_at = 0;        ///< when the current stage completes
+  double issue_time = 0;      ///< when the in-flight query was issued
+  int stage = 0;              ///< progress within the in-flight query
+  Demand demand;
+  std::vector<double> latencies;
+  std::uint64_t answers = 0;
+};
+
+struct Event {
+  double time;
+  std::uint32_t client;
+  bool operator>(const Event& o) const {
+    return time > o.time || (time == o.time && client > o.client);
+  }
+};
+
+}  // namespace
+
+FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& base,
+                       const FleetConfig& fleet) {
+  validate_config(base);
+  const double bits_per_s = base.channel.bandwidth_mbps * 1e6;
+  const std::uint64_t ctrl = net::control_bytes(0, base.protocol);
+
+  sim::ServerCpu server(base.server);  // shared: caches see all clients
+  double medium_free = 0;
+  double server_free = 0;
+  double medium_busy = 0;
+  double server_busy = 0;
+
+  std::vector<Client> clients(fleet.clients);
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  for (std::uint32_t k = 0; k < fleet.clients; ++k) {
+    Client& c = clients[k];
+    c.cpu = std::make_unique<sim::ClientCpu>(base.client);
+    c.nic = net::Nic(base.nic_power, base.channel.distance_m);
+    workload::QueryGen gen(dataset, fleet.workload_seed * 1000 + k);
+    c.queries = gen.batch(fleet.query_kind, fleet.queries_per_client);
+    // Clients start staggered by a fraction of the think time so the
+    // first round does not collide artificially.
+    c.ready_at = fleet.think_time_s * static_cast<double>(k) /
+                 std::max(1u, fleet.clients);
+    c.nic.spend(net::NicState::Sleep, c.ready_at);
+    events.push({c.ready_at, k});
+  }
+
+  // Client-side w1: compute + protocol-tx; fills in c.demand.
+  auto run_client_work = [&](Client& c, const rtree::Query& q) {
+    c.demand = Demand{};
+    const double busy0 = c.cpu->busy_seconds();
+
+    if (base.scheme == Scheme::FullyAtClient) {
+      if (const auto* kq = std::get_if<rtree::KnnQuery>(&q)) {
+        c.answers += dataset.tree.nearest_k(kq->p, kq->k, dataset.store, *c.cpu).size();
+      } else if (const auto* nq = std::get_if<rtree::NNQuery>(&q)) {
+        if (dataset.tree.nearest(nq->p, dataset.store, *c.cpu)) ++c.answers;
+      } else {
+        std::vector<std::uint32_t> cand;
+        std::vector<std::uint32_t> ids;
+        filter_query(dataset, q, *c.cpu, cand);
+        refine_query(dataset, q, cand, *c.cpu, ids);
+        c.answers += ids.size();
+      }
+      return c.cpu->busy_seconds() - busy0;
+    }
+
+    // Remote schemes: client-side portion + request assembly.
+    serial::QueryRequest req;
+    req.client_has_data = base.placement.data_at_client;
+    req.query = q;
+    if (base.scheme == Scheme::FilterClientRefineServer) {
+      req.op = serial::RemoteOp::RefineOnly;
+      filter_query(dataset, q, *c.cpu, c.demand.candidates);
+      req.candidates = c.demand.candidates;
+    } else {
+      req.op = base.scheme == Scheme::FilterServerRefineClient ? serial::RemoteOp::FilterOnly
+                                                               : serial::RemoteOp::FullQuery;
+    }
+    const net::WireCost tx = net::wire_cost(req.encoded_size(), base.protocol);
+    net::charge_protocol_tx(tx, *c.cpu);
+    c.demand.remote = true;
+    c.demand.tx_air_s = static_cast<double>((tx.wire_bytes + ctrl) * 8) / bits_per_s;
+    return c.cpu->busy_seconds() - busy0;
+  };
+
+  // Server-side w2 for client c's in-flight query; returns server
+  // seconds and fills the response airtime.
+  auto run_server_work = [&](Client& c, const rtree::Query& q) {
+    const std::uint64_t s0 = server.cycles();
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> ids;
+    std::uint64_t rx_payload = 0;
+
+    if (base.scheme == Scheme::FullyAtServer) {
+      if (const auto* kq = std::get_if<rtree::KnnQuery>(&q)) {
+        for (const auto& r : dataset.tree.nearest_k(kq->p, kq->k, dataset.store, server)) {
+          ids.push_back(r.id);
+        }
+      } else if (const auto* nq = std::get_if<rtree::NNQuery>(&q)) {
+        if (const auto nn = dataset.tree.nearest(nq->p, dataset.store, server)) {
+          ids.push_back(nn->id);
+        }
+      } else {
+        filter_query(dataset, q, server, cand);
+        refine_query(dataset, q, cand, server, ids);
+      }
+      c.answers += ids.size();
+      rx_payload = 4 + ids.size() * (base.placement.data_at_client
+                                         ? 4ull
+                                         : std::uint64_t{rtree::kRecordBytes});
+    } else if (base.scheme == Scheme::FilterClientRefineServer) {
+      refine_query(dataset, q, c.demand.candidates, server, ids);
+      c.answers += ids.size();
+      rx_payload = 4 + ids.size() * (base.placement.data_at_client
+                                         ? 4ull
+                                         : std::uint64_t{rtree::kRecordBytes});
+    } else {  // FilterServerRefineClient
+      filter_query(dataset, q, server, cand);
+      c.demand.candidates = cand;
+      rx_payload = 4 + cand.size() * 4ull;
+    }
+
+    const net::WireCost rx = net::wire_cost(rx_payload, base.protocol);
+    net::charge_protocol_tx(rx, server);
+    c.demand.rx_air_s = static_cast<double>((rx.wire_bytes + ctrl) * 8) / bits_per_s;
+    return static_cast<double>(server.cycles() - s0) / base.server.clock_hz();
+  };
+
+  // Client-side w3: unpack + (for filter@server) local refinement.
+  auto run_client_finish = [&](Client& c, const rtree::Query& q) {
+    const double busy0 = c.cpu->busy_seconds();
+    const net::WireCost rx = net::wire_cost(
+        static_cast<std::uint64_t>(c.demand.rx_air_s * bits_per_s / 8), base.protocol);
+    net::charge_protocol_rx(rx, *c.cpu);
+    if (base.scheme == Scheme::FilterServerRefineClient) {
+      std::vector<std::uint32_t> ids;
+      refine_query(dataset, q, c.demand.candidates, *c.cpu, ids);
+      c.answers += ids.size();
+    }
+    return c.cpu->busy_seconds() - busy0;
+  };
+
+  // --- event loop -------------------------------------------------------
+  // Stages: 0 issue (after think), 1 medium-for-tx, 2 server, 3
+  // medium-for-rx, 4 completion/unpack.
+  double makespan = 0;
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    Client& c = clients[ev.client];
+    const rtree::Query& q = c.queries[c.next_query];
+
+    switch (c.stage) {
+      case 0: {
+        c.issue_time = ev.time;
+        const double dt = run_client_work(c, q);
+        c.nic.spend(net::NicState::Sleep, dt);
+        if (!c.demand.remote) {
+          // Fully at client: the query is done.
+          c.latencies.push_back(dt);
+          makespan = std::max(makespan, ev.time + dt);
+          ++c.next_query;
+          if (c.next_query < c.queries.size()) {
+            c.nic.spend(net::NicState::Sleep, fleet.think_time_s);
+            events.push({ev.time + dt + fleet.think_time_s, ev.client});
+          }
+          break;
+        }
+        c.stage = 1;
+        events.push({ev.time + dt, ev.client});
+        break;
+      }
+      case 1: {  // claim the medium for the uplink
+        const double start = std::max(ev.time, medium_free) + c.nic.sleep_exit();
+        const double end = start + c.demand.tx_air_s;
+        medium_free = end;
+        medium_busy += c.demand.tx_air_s;
+        c.nic.spend(net::NicState::Idle, start - ev.time);
+        c.nic.spend(net::NicState::Transmit, c.demand.tx_air_s);
+        c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+        c.stage = 2;
+        events.push({end, ev.client});
+        break;
+      }
+      case 2: {  // claim the server
+        const double start = std::max(ev.time, server_free);
+        const double dt = run_server_work(c, q);
+        const double end = start + dt;
+        server_free = end;
+        server_busy += dt;
+        c.nic.spend(net::NicState::Idle, end - ev.time);
+        c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+        c.stage = 3;
+        events.push({end, ev.client});
+        break;
+      }
+      case 3: {  // claim the medium for the downlink
+        const double start = std::max(ev.time, medium_free);
+        const double end = start + c.demand.rx_air_s;
+        medium_free = end;
+        medium_busy += c.demand.rx_air_s;
+        c.nic.spend(net::NicState::Idle, start - ev.time);
+        c.nic.spend(net::NicState::Receive, c.demand.rx_air_s);
+        c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+        c.stage = 4;
+        events.push({end, ev.client});
+        break;
+      }
+      case 4: {  // unpack / refine locally, complete
+        const double dt = run_client_finish(c, q);
+        c.nic.spend(net::NicState::Sleep, dt);
+        const double done = ev.time + dt;
+        c.latencies.push_back(done - c.issue_time);
+        makespan = std::max(makespan, done);
+        c.stage = 0;
+        ++c.next_query;
+        if (c.next_query < c.queries.size()) {
+          c.nic.spend(net::NicState::Sleep, fleet.think_time_s);
+          events.push({done + fleet.think_time_s, ev.client});
+        }
+        break;
+      }
+      default: break;
+    }
+  }
+
+  // --- aggregate ----------------------------------------------------------
+  FleetOutcome out;
+  out.makespan_s = makespan;
+  std::vector<double> all;
+  double energy = 0;
+  for (const Client& c : clients) {
+    all.insert(all.end(), c.latencies.begin(), c.latencies.end());
+    energy += c.cpu->energy().total_j() + c.nic.total_joules();
+    out.answers += c.answers;
+  }
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    double sum = 0;
+    for (const double l : all) sum += l;
+    out.mean_latency_s = sum / static_cast<double>(all.size());
+    out.p95_latency_s = all[static_cast<std::size_t>(0.95 * (all.size() - 1))];
+  }
+  out.mean_client_energy_j = energy / std::max<std::size_t>(1, clients.size());
+  if (makespan > 0) {
+    out.medium_utilization = medium_busy / makespan;
+    out.server_utilization = server_busy / makespan;
+  }
+  return out;
+}
+
+}  // namespace mosaiq::core

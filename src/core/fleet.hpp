@@ -1,0 +1,50 @@
+// Multi-client fleet simulation: K mobile clients sharing ONE wireless
+// medium and ONE server.
+//
+// The paper models a single client with a dedicated channel and an
+// uncontended server (Section 5.3 explicitly assumes requests are
+// served from memory "either from the same client or across clients").
+// This extension measures what happens to each partitioning scheme as
+// the fleet grows: the half-duplex medium serializes airtime across
+// clients, the server serializes query processing (its caches now see
+// the *cross-client* access stream — the locality the paper appeals
+// to), and every wait is paid by the waiting client's NIC in IDLE.
+//
+// The simulation is a deterministic discrete-event loop: each client is
+// a small state machine (think → compute+protocol → medium grant →
+// transmit → server grant → serve → medium grant → receive → unpack),
+// and the medium/server are FIFO resources granted in event-time order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace mosaiq::core {
+
+struct FleetConfig {
+  std::uint32_t clients = 8;
+  std::uint32_t queries_per_client = 20;
+  /// User think time between a query's completion and the next issue.
+  double think_time_s = 1.0;
+  std::uint64_t workload_seed = 99;
+  rtree::QueryKind query_kind = rtree::QueryKind::Range;
+};
+
+struct FleetOutcome {
+  double makespan_s = 0;            ///< last query completion
+  double mean_latency_s = 0;        ///< per-query, issue -> answer
+  double p95_latency_s = 0;
+  double mean_client_energy_j = 0;  ///< full per-client energy, averaged
+  double medium_utilization = 0;    ///< airtime / makespan
+  double server_utilization = 0;    ///< server busy / makespan
+  std::uint64_t answers = 0;
+};
+
+/// Runs the fleet under `base.scheme` (FullyAtClient runs contention-free
+/// by construction and serves as the scaling baseline).
+FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& base,
+                       const FleetConfig& fleet);
+
+}  // namespace mosaiq::core

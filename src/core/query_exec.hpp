@@ -1,0 +1,57 @@
+// Shared query-execution dispatch: the filtering and refinement steps
+// for every query kind that has them (point, range, route), runnable on
+// any machine model via ExecHooks.  Used by the Session, the pipelined
+// session, and the fleet simulator so the per-kind switching lives in
+// exactly one place.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rtree/packed_rtree.hpp"
+#include "rtree/query.hpp"
+#include "workload/dataset.hpp"
+
+namespace mosaiq::core {
+
+/// True for query kinds with a filtering/refinement split (partitionable
+/// at the phase boundary): point, range, and route queries.
+inline bool is_filterable(const rtree::Query& q) {
+  const auto k = rtree::kind_of(q);
+  return k == rtree::QueryKind::Point || k == rtree::QueryKind::Range ||
+         k == rtree::QueryKind::Route;
+}
+
+inline std::vector<geom::Segment> legs_of(const rtree::RouteQuery& rq) {
+  std::vector<geom::Segment> legs;
+  legs.reserve(rq.legs());
+  for (std::size_t i = 0; i < rq.legs(); ++i) legs.push_back(rq.leg(i));
+  return legs;
+}
+
+/// Filtering step for any filterable query, on the given machine.
+inline void filter_query(const workload::Dataset& data, const rtree::Query& q,
+                         rtree::ExecHooks& cpu, std::vector<std::uint32_t>& cand) {
+  if (const auto* pq = std::get_if<rtree::PointQuery>(&q)) {
+    data.tree.filter_point(pq->p, cpu, cand);
+  } else if (const auto* rq = std::get_if<rtree::RangeQuery>(&q)) {
+    data.tree.filter_range(rq->window, cpu, cand);
+  } else {
+    data.tree.filter_route(legs_of(std::get<rtree::RouteQuery>(q)), cpu, cand);
+  }
+}
+
+/// Refinement step for any filterable query, on the given machine.
+inline void refine_query(const workload::Dataset& data, const rtree::Query& q,
+                         std::span<const std::uint32_t> cand, rtree::ExecHooks& cpu,
+                         std::vector<std::uint32_t>& ids) {
+  if (const auto* pq = std::get_if<rtree::PointQuery>(&q)) {
+    rtree::refine_point(data.store, pq->p, cand, cpu, ids);
+  } else if (const auto* rq = std::get_if<rtree::RangeQuery>(&q)) {
+    rtree::refine_range(data.store, rq->window, cand, cpu, ids);
+  } else {
+    rtree::refine_route(data.store, legs_of(std::get<rtree::RouteQuery>(q)), cand, cpu, ids);
+  }
+}
+
+}  // namespace mosaiq::core

@@ -1,0 +1,223 @@
+#include "core/session.hpp"
+
+#include "core/query_exec.hpp"
+
+#include <stdexcept>
+
+#include "geom/predicates.hpp"
+#include "rtree/costs.hpp"
+#include "serial/messages.hpp"
+
+namespace mosaiq::core {
+
+namespace {
+
+namespace simaddr = rtree::simaddr;
+
+/// Response payload size for an answer of `n` ids/records.
+std::uint64_t answer_payload_bytes(std::uint64_t n, bool data_at_client) {
+  if (data_at_client) {
+    serial::IdListResponse r;
+    r.ids.resize(n);
+    return r.encoded_size();
+  }
+  serial::RecordResponse r;
+  r.records.resize(n);
+  return r.encoded_size();
+}
+
+/// Client-side refinement over records that arrived on the wire (data
+/// not resident at the client): the candidate records sit in the
+/// application receive buffer, so reads go against the net region.
+void refine_received(const workload::Dataset& data, const rtree::Query& q,
+                     std::span<const std::uint32_t> candidates, rtree::ExecHooks& cpu,
+                     std::uint64_t& answers) {
+  std::uint64_t addr = simaddr::kNetBase;
+  std::uint64_t result_addr = simaddr::kScratchBase + (2u << 20);
+  for (const std::uint32_t rec : candidates) {
+    cpu.instr(rtree::costs::kCandidateFetch);
+    cpu.read(addr, 32);
+    addr += rtree::kRecordBytes;
+    const geom::Segment& s = data.store.segment(rec);
+    bool hit = false;
+    if (const auto* pq = std::get_if<rtree::PointQuery>(&q)) {
+      cpu.instr(rtree::costs::kPointOnSegment);
+      hit = geom::point_on_segment(pq->p, s);
+    } else if (const auto* rq = std::get_if<rtree::RangeQuery>(&q)) {
+      cpu.instr(rtree::costs::kSegRectIntersect);
+      hit = geom::segment_intersects_rect(s, rq->window);
+    } else {
+      for (const geom::Segment& leg : legs_of(std::get<rtree::RouteQuery>(q))) {
+        cpu.instr(rtree::costs::kSegSegIntersect);
+        if (geom::segments_intersect(s, leg)) {
+          hit = true;
+          break;
+        }
+      }
+    }
+    if (hit) {
+      cpu.instr(rtree::costs::kResultPush);
+      cpu.write(result_addr, 4);
+      result_addr += 4;
+      ++answers;
+    }
+  }
+}
+
+}  // namespace
+
+void validate_config(const SessionConfig& cfg) {
+  if (!(cfg.channel.bandwidth_mbps > 0)) {
+    throw std::invalid_argument("SessionConfig: bandwidth must be positive");
+  }
+  if (cfg.channel.distance_m < 0) {
+    throw std::invalid_argument("SessionConfig: distance must be non-negative");
+  }
+  if (!(cfg.client.clock_mhz > 0) || !(cfg.server.clock_mhz > 0)) {
+    throw std::invalid_argument("SessionConfig: clock speeds must be positive");
+  }
+  if (cfg.protocol.mtu_bytes <= cfg.protocol.header_bytes) {
+    throw std::invalid_argument("SessionConfig: MTU must exceed the header size");
+  }
+}
+
+Session::Session(const workload::Dataset& dataset, const SessionConfig& cfg)
+    : data_(dataset),
+      cfg_(cfg),
+      client_((validate_config(cfg), cfg.client)),
+      server_(cfg.server),
+      transport_(cfg.channel, cfg.nic_power, cfg.protocol, cfg.wait_policy, client_, server_) {}
+
+void Session::run_fully_at_client(const rtree::Query& q) {
+  if (is_filterable(q)) {
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> ids;
+    filter_query(data_, q, client_, cand);
+    refine_query(data_, q, cand, client_, ids);
+    answers_ += ids.size();
+  } else if (const auto* kq = std::get_if<rtree::KnnQuery>(&q)) {
+    answers_ += data_.tree.nearest_k(kq->p, kq->k, data_.store, client_).size();
+  } else {
+    if (data_.tree.nearest(std::get<rtree::NNQuery>(q).p, data_.store, client_)) ++answers_;
+  }
+  transport_.settle_sleep();
+}
+
+void Session::run_fully_at_server(const rtree::Query& q) {
+  serial::QueryRequest req;
+  req.op = serial::RemoteOp::FullQuery;
+  req.query = q;
+  req.client_has_data = cfg_.placement.data_at_client;
+
+  transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
+    if (is_filterable(q)) {
+      std::vector<std::uint32_t> cand;
+      std::vector<std::uint32_t> ids;
+      filter_query(data_, q, server_, cand);
+      refine_query(data_, q, cand, server_, ids);
+      answers_ += ids.size();
+      return answer_payload_bytes(ids.size(), cfg_.placement.data_at_client);
+    }
+    if (const auto* kq = std::get_if<rtree::KnnQuery>(&q)) {
+      const auto found = data_.tree.nearest_k(kq->p, kq->k, data_.store, server_);
+      answers_ += found.size();
+      return answer_payload_bytes(found.size(), cfg_.placement.data_at_client);
+    }
+    const auto nn = data_.tree.nearest(std::get<rtree::NNQuery>(q).p, data_.store, server_);
+    if (nn) ++answers_;
+    return serial::NNResponse{}.encoded_size();
+  });
+}
+
+void Session::run_filter_client_refine_server(const rtree::Query& q) {
+  if (!is_filterable(q)) {
+    throw std::invalid_argument(
+        "nearest-neighbor queries have no filtering/refinement split to partition");
+  }
+
+  // w1: filtering on the client (index is replicated locally).
+  std::vector<std::uint32_t> cand;
+  filter_query(data_, q, client_, cand);
+
+  // Request carries the query plus the candidate ids (the transmission
+  // the paper identifies as this scheme's energy Achilles heel).
+  serial::QueryRequest req;
+  req.op = serial::RemoteOp::RefineOnly;
+  req.query = q;
+  req.client_has_data = cfg_.placement.data_at_client;
+  req.candidates = cand;
+
+  transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
+    std::vector<std::uint32_t> ids;
+    refine_query(data_, q, cand, server_, ids);
+    answers_ += ids.size();
+    return answer_payload_bytes(ids.size(), cfg_.placement.data_at_client);
+  });
+}
+
+void Session::run_filter_server_refine_client(const rtree::Query& q) {
+  if (!is_filterable(q)) {
+    throw std::invalid_argument(
+        "nearest-neighbor queries have no filtering/refinement split to partition");
+  }
+
+  serial::QueryRequest req;
+  req.op = serial::RemoteOp::FilterOnly;
+  req.query = q;
+  req.client_has_data = cfg_.placement.data_at_client;
+
+  // w2: filtering at the server; response carries candidate ids when the
+  // data is replicated at the client, or the candidate records when not.
+  std::vector<std::uint32_t> cand;
+  transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
+    filter_query(data_, q, server_, cand);
+    if (cfg_.placement.data_at_client) {
+      serial::IdListResponse r;
+      r.ids = cand;
+      return r.encoded_size();
+    }
+    // Serializing the candidate records costs the server a read pass.
+    for (const std::uint32_t rec : cand) {
+      server_.read(data_.store.addr_of(rec), rtree::kRecordBytes);
+    }
+    serial::RecordResponse r;
+    r.records.resize(cand.size());
+    return r.encoded_size();
+  });
+
+  // w3: refinement on the client.
+  if (cfg_.placement.data_at_client) {
+    std::vector<std::uint32_t> ids;
+    refine_query(data_, q, cand, client_, ids);
+    answers_ += ids.size();
+  } else {
+    refine_received(data_, q, cand, client_, answers_);
+  }
+  transport_.settle_sleep();
+}
+
+void Session::run_query(const rtree::Query& q) { run_query_as(q, cfg_.scheme); }
+
+void Session::run_query_as(const rtree::Query& q, Scheme scheme) {
+  switch (scheme) {
+    case Scheme::FullyAtClient: run_fully_at_client(q); break;
+    case Scheme::FullyAtServer: run_fully_at_server(q); break;
+    case Scheme::FilterClientRefineServer: run_filter_client_refine_server(q); break;
+    case Scheme::FilterServerRefineClient: run_filter_server_refine_client(q); break;
+  }
+}
+
+stats::Outcome Session::outcome() {
+  stats::Outcome o = transport_.snapshot();
+  o.answers = answers_;
+  return o;
+}
+
+stats::Outcome Session::run_batch(const workload::Dataset& dataset, const SessionConfig& cfg,
+                                  std::span<const rtree::Query> queries) {
+  Session s(dataset, cfg);
+  for (const rtree::Query& q : queries) s.run_query(q);
+  return s.outcome();
+}
+
+}  // namespace mosaiq::core

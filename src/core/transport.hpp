@@ -1,0 +1,149 @@
+// Transport: the client<->server round-trip machinery shared by the
+// adequate-memory Session and the insufficient-memory CachingClient.
+//
+// Owns the NIC model and the communication-side accounting; the caller
+// owns the CPU models and the query logic.  One exchange() performs the
+// full Figure-1 round trip with the Section-5.2 NIC/CPU state schedule:
+//
+//   protocol-tx (CPU busy, NIC sleeping)
+//   sleep-exit -> TRANSMIT (CPU blocked)
+//   IDLE while the server computes (CPU blocked)
+//   RECEIVE (CPU blocked) -> back to SLEEP
+//   protocol-rx (CPU busy, NIC sleeping)
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/scheme.hpp"
+#include "net/nic.hpp"
+#include "net/protocol.hpp"
+#include "sim/client_cpu.hpp"
+#include "sim/server_cpu.hpp"
+#include "stats/breakdown.hpp"
+
+namespace mosaiq::core {
+
+class Transport {
+ public:
+  Transport(const net::Channel& channel, const net::NicPowerModel& nic_power,
+            const net::ProtocolConfig& protocol, sim::WaitPolicy wait_policy,
+            sim::ClientCpu& client, sim::ServerCpu& server)
+      : channel_(channel),
+        protocol_(protocol),
+        wait_policy_(wait_policy),
+        client_(client),
+        server_(server),
+        nic_(nic_power, channel.distance_m) {}
+
+  /// One request/response round trip.  `server_work()` runs between the
+  /// protocol phases on the server model and returns the response
+  /// payload size in bytes.
+  template <typename ServerWork>
+  void exchange(std::uint64_t tx_payload_bytes, ServerWork&& server_work) {
+    const double client_hz = client_.config().clock_hz();
+
+    const net::WireCost tx = net::wire_cost(tx_payload_bytes, protocol_);
+    net::charge_protocol_tx(tx, client_);
+    settle_sleep();
+
+    // TX phase: the client sends its data + control packets and, half
+    // duplex, takes in the server's delayed ACKs for them.
+    const double bits_per_s = channel_.bandwidth_mbps * 1e6;
+    const std::uint64_t ctrl_tx = net::control_bytes(0, protocol_);  // SYN/FIN etc.
+    const std::uint64_t peer_acks = net::control_bytes(tx.packets, protocol_) - ctrl_tx;
+    wall_seconds_ += nic_.sleep_exit();
+    const double t_tx = static_cast<double>((tx.wire_bytes + ctrl_tx) * 8) / bits_per_s;
+    const double t_peer_acks = static_cast<double>(peer_acks * 8) / bits_per_s;
+    nic_.spend(net::NicState::Transmit, t_tx);
+    nic_.spend(net::NicState::Receive, t_peer_acks);
+    client_.wait_seconds(t_tx + t_peer_acks, wait_policy_);
+    cycles_.nic_tx += static_cast<std::uint64_t>(std::llround(t_tx * client_hz));
+    cycles_.nic_rx += static_cast<std::uint64_t>(std::llround(t_peer_acks * client_hz));
+    wall_seconds_ += t_tx + t_peer_acks;
+
+    const std::uint64_t s0 = server_.cycles();
+    net::charge_protocol_rx(tx, server_);
+    const std::uint64_t rx_payload_bytes = server_work();
+    const net::WireCost rx = net::wire_cost(rx_payload_bytes, protocol_);
+    net::charge_protocol_tx(rx, server_);
+    const std::uint64_t s1 = server_.cycles();
+    const double t_server = static_cast<double>(s1 - s0) / server_.config().clock_hz();
+
+    nic_.spend(net::NicState::Idle, t_server);
+    client_.wait_seconds(t_server, wait_policy_);
+    cycles_.wait += static_cast<std::uint64_t>(std::llround(t_server * client_hz));
+    wall_seconds_ += t_server;
+
+    // RX phase: response data + server control packets come in; the
+    // client transmits its own delayed ACKs.
+    const std::uint64_t my_acks = net::control_bytes(rx.packets, protocol_) - ctrl_tx;
+    const double t_rx = static_cast<double>((rx.wire_bytes + ctrl_tx) * 8) / bits_per_s;
+    const double t_my_acks = static_cast<double>(my_acks * 8) / bits_per_s;
+    nic_.spend(net::NicState::Receive, t_rx);
+    nic_.spend(net::NicState::Transmit, t_my_acks);
+    client_.wait_seconds(t_rx + t_my_acks, wait_policy_);
+    cycles_.nic_rx += static_cast<std::uint64_t>(std::llround(t_rx * client_hz));
+    cycles_.nic_tx += static_cast<std::uint64_t>(std::llround(t_my_acks * client_hz));
+    wall_seconds_ += t_rx + t_my_acks;
+
+    net::charge_protocol_rx(rx, client_);
+    settle_sleep();
+
+    bytes_tx_ += tx.wire_bytes + ctrl_tx + my_acks;
+    bytes_rx_ += rx.wire_bytes + ctrl_tx + peer_acks;
+    ++round_trips_;
+  }
+
+  /// Attribute client busy time since the last call as NIC-sleep wall
+  /// time.  Call after local compute phases and before reading totals.
+  void settle_sleep() {
+    const double busy = client_.busy_seconds();
+    const double delta = busy - settled_busy_seconds_;
+    if (delta > 0) {
+      nic_.spend(net::NicState::Sleep, delta);
+      wall_seconds_ += delta;
+      settled_busy_seconds_ = busy;
+    }
+  }
+
+  /// Assembles the communication + CPU totals into an Outcome (the
+  /// caller fills in answer counts).
+  stats::Outcome snapshot() {
+    settle_sleep();
+    stats::Outcome o;
+    o.cycles = cycles_;
+    o.cycles.processor = client_.busy_cycles();
+    o.energy.processor_j = client_.energy().total_j();
+    o.energy.nic_tx_j = nic_.joules_in(net::NicState::Transmit);
+    o.energy.nic_rx_j = nic_.joules_in(net::NicState::Receive);
+    o.energy.nic_idle_j = nic_.joules_in(net::NicState::Idle);
+    o.energy.nic_sleep_j = nic_.joules_in(net::NicState::Sleep);
+    o.processor_detail = client_.energy();
+    o.server_cycles = server_.cycles();
+    o.bytes_tx = bytes_tx_;
+    o.bytes_rx = bytes_rx_;
+    o.round_trips = round_trips_;
+    o.wall_seconds = wall_seconds_;
+    return o;
+  }
+
+  const net::Nic& nic() const { return nic_; }
+
+ private:
+  net::Channel channel_;
+  net::ProtocolConfig protocol_;
+  sim::WaitPolicy wait_policy_;
+  sim::ClientCpu& client_;
+  sim::ServerCpu& server_;
+  net::Nic nic_;
+
+  stats::CycleBreakdown cycles_;
+  std::uint64_t bytes_tx_ = 0;
+  std::uint64_t bytes_rx_ = 0;
+  std::uint32_t round_trips_ = 0;
+  double wall_seconds_ = 0;
+  double settled_busy_seconds_ = 0;
+};
+
+}  // namespace mosaiq::core

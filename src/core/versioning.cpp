@@ -1,0 +1,48 @@
+#include "core/versioning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mosaiq::core {
+
+TileVersionMap::TileVersionMap(const geom::Rect& extent, std::uint32_t grid)
+    : extent_(extent), grid_(std::max(1u, grid)) {
+  versions_.assign(std::size_t{grid_} * grid_, 0);
+}
+
+std::size_t TileVersionMap::tile_of(const geom::Point& p) const {
+  const double fx = (p.x - extent_.lo.x) / std::max(extent_.width(), 1e-300);
+  const double fy = (p.y - extent_.lo.y) / std::max(extent_.height(), 1e-300);
+  const auto tx = static_cast<std::uint32_t>(
+      std::clamp(fx * grid_, 0.0, static_cast<double>(grid_ - 1)));
+  const auto ty = static_cast<std::uint32_t>(
+      std::clamp(fy * grid_, 0.0, static_cast<double>(grid_ - 1)));
+  return std::size_t{ty} * grid_ + tx;
+}
+
+void TileVersionMap::bump(const geom::Point& p) {
+  ++total_;
+  versions_[tile_of(p)] = total_;  // monotone global clock per tile
+}
+
+std::uint64_t TileVersionMap::max_version(const geom::Rect& r) const {
+  const auto clamp_tile = [&](double f) {
+    return static_cast<std::uint32_t>(
+        std::clamp(f * grid_, 0.0, static_cast<double>(grid_ - 1)));
+  };
+  const double w = std::max(extent_.width(), 1e-300);
+  const double h = std::max(extent_.height(), 1e-300);
+  const std::uint32_t x0 = clamp_tile((r.lo.x - extent_.lo.x) / w);
+  const std::uint32_t x1 = clamp_tile((r.hi.x - extent_.lo.x) / w);
+  const std::uint32_t y0 = clamp_tile((r.lo.y - extent_.lo.y) / h);
+  const std::uint32_t y1 = clamp_tile((r.hi.y - extent_.lo.y) / h);
+  std::uint64_t best = 0;
+  for (std::uint32_t y = y0; y <= y1; ++y) {
+    for (std::uint32_t x = x0; x <= x1; ++x) {
+      best = std::max(best, versions_[std::size_t{y} * grid_ + x]);
+    }
+  }
+  return best;
+}
+
+}  // namespace mosaiq::core

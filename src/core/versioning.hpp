@@ -1,0 +1,72 @@
+// Update tracking for the insufficient-memory client cache (paper
+// Section 7: "examining issues when data is frequently modified (and
+// the latest copy needs to be obtained from server)").
+//
+// The server overlays a tile grid on the extent and keeps a version
+// counter per tile; every update bumps the tile it falls in.  A
+// client-side shipment records the maximum version under its safe
+// rectangle; freshness of a later local answer is "no overlapping tile
+// advanced past that snapshot".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "workload/dataset.hpp"
+
+namespace mosaiq::core {
+
+class TileVersionMap {
+ public:
+  TileVersionMap(const geom::Rect& extent, std::uint32_t grid = 16);
+
+  /// Bump the version of the tile containing `p`.
+  void bump(const geom::Point& p);
+
+  /// Highest version of any tile overlapping `r`.
+  std::uint64_t max_version(const geom::Rect& r) const;
+
+  std::uint64_t total_updates() const { return total_; }
+  std::uint32_t grid() const { return grid_; }
+
+ private:
+  std::size_t tile_of(const geom::Point& p) const;
+
+  geom::Rect extent_;
+  std::uint32_t grid_;
+  std::vector<std::uint64_t> versions_;
+  std::uint64_t total_ = 0;
+};
+
+/// The master dataset plus its update state.  Updates in this model bump
+/// versions without mutating geometry: what is under study is the
+/// *consistency traffic and energy*, with staleness surfaced as a
+/// counted metric rather than as divergent answers (DESIGN.md §5).
+class VersionedServer {
+ public:
+  explicit VersionedServer(const workload::Dataset& dataset, std::uint32_t grid = 16)
+      : dataset_(dataset), versions_(dataset.extent, grid) {}
+
+  const workload::Dataset& dataset() const { return dataset_; }
+
+  void apply_update(const geom::Point& where) { versions_.bump(where); }
+
+  /// Snapshot version a fresh shipment of `safe_rect` carries.
+  std::uint64_t snapshot(const geom::Rect& safe_rect) const {
+    return versions_.max_version(safe_rect);
+  }
+
+  /// True when nothing under `window` advanced past `snapshot_version`.
+  bool fresh(const geom::Rect& window, std::uint64_t snapshot_version) const {
+    return versions_.max_version(window) <= snapshot_version;
+  }
+
+  const TileVersionMap& versions() const { return versions_; }
+
+ private:
+  const workload::Dataset& dataset_;
+  TileVersionMap versions_;
+};
+
+}  // namespace mosaiq::core

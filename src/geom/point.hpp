@@ -1,0 +1,42 @@
+// Planar point type used throughout the spatial substrate.
+//
+// Coordinates are double precision; the wire format and the R-tree node
+// layout use float32 MBRs (see rtree/node.hpp), but all geometric
+// computation is done in double to keep refinement predicates robust.
+#pragma once
+
+#include <cmath>
+#include <compare>
+
+namespace mosaiq::geom {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  constexpr Point operator*(double s) const { return {x * s, y * s}; }
+
+  /// Dot product with another point treated as a vector.
+  constexpr double dot(const Point& o) const { return x * o.x + y * o.y; }
+
+  /// Z-component of the 2-D cross product (signed parallelogram area).
+  constexpr double cross(const Point& o) const { return x * o.y - y * o.x; }
+
+  constexpr double norm2() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm2()); }
+};
+
+/// Squared Euclidean distance between two points.
+constexpr double dist2(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double dist(const Point& a, const Point& b) { return std::sqrt(dist2(a, b)); }
+
+}  // namespace mosaiq::geom

@@ -1,0 +1,61 @@
+#include "geom/predicates.hpp"
+
+#include <algorithm>
+
+namespace mosaiq::geom {
+
+int orientation(const Point& a, const Point& b, const Point& c) {
+  const double v = (b - a).cross(c - a);
+  if (v > kEps) return +1;
+  if (v < -kEps) return -1;
+  return 0;
+}
+
+bool point_on_segment(const Point& p, const Segment& s) {
+  if (orientation(s.a, s.b, p) != 0) return false;
+  return p.x >= std::min(s.a.x, s.b.x) - kEps && p.x <= std::max(s.a.x, s.b.x) + kEps &&
+         p.y >= std::min(s.a.y, s.b.y) - kEps && p.y <= std::max(s.a.y, s.b.y) + kEps;
+}
+
+bool segments_intersect(const Segment& s, const Segment& t) {
+  const int o1 = orientation(s.a, s.b, t.a);
+  const int o2 = orientation(s.a, s.b, t.b);
+  const int o3 = orientation(t.a, t.b, s.a);
+  const int o4 = orientation(t.a, t.b, s.b);
+
+  if (o1 != o2 && o3 != o4) return true;
+
+  // Collinear / endpoint-touching special cases.
+  if (o1 == 0 && point_on_segment(t.a, s)) return true;
+  if (o2 == 0 && point_on_segment(t.b, s)) return true;
+  if (o3 == 0 && point_on_segment(s.a, t)) return true;
+  if (o4 == 0 && point_on_segment(s.b, t)) return true;
+  return false;
+}
+
+bool segment_intersects_rect(const Segment& s, const Rect& r) {
+  // Trivial accept: an endpoint inside the rectangle.
+  if (r.contains(s.a) || r.contains(s.b)) return true;
+  // Trivial reject: bounding boxes disjoint.
+  if (!r.intersects(s.mbr())) return false;
+  // Otherwise the segment intersects iff it crosses one of the four edges.
+  const Point c00 = r.lo;
+  const Point c11 = r.hi;
+  const Point c10{r.hi.x, r.lo.y};
+  const Point c01{r.lo.x, r.hi.y};
+  return segments_intersect(s, {c00, c10}) || segments_intersect(s, {c10, c11}) ||
+         segments_intersect(s, {c11, c01}) || segments_intersect(s, {c01, c00});
+}
+
+double point_segment_dist2(const Point& p, const Segment& s) {
+  const Point d = s.b - s.a;
+  const double len2 = d.norm2();
+  if (len2 <= kEps * kEps) return dist2(p, s.a);  // degenerate segment
+  const double t = (p - s.a).dot(d) / len2;
+  if (t <= 0.0) return dist2(p, s.a);
+  if (t >= 1.0) return dist2(p, s.b);
+  const Point foot = s.a + d * t;
+  return dist2(p, foot);
+}
+
+}  // namespace mosaiq::geom

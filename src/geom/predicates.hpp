@@ -1,0 +1,44 @@
+// Geometric predicates used by the refinement step of query processing.
+//
+// These are the "expensive" geometric operations the paper's refinement
+// phase performs on each filtering candidate.  All predicates treat
+// regions as closed sets and use an absolute epsilon for on-boundary
+// decisions, which is adequate for the normalized [0,1)^2 coordinate
+// space the workloads use.
+#pragma once
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "geom/segment.hpp"
+
+namespace mosaiq::geom {
+
+/// Absolute tolerance for collinearity / on-segment tests in the
+/// normalized coordinate space.
+inline constexpr double kEps = 1e-12;
+
+/// Sign of the orientation of the triple (a, b, c):
+/// +1 counter-clockwise, -1 clockwise, 0 collinear (within kEps).
+int orientation(const Point& a, const Point& b, const Point& c);
+
+/// True when point p lies on segment s (within kEps).
+bool point_on_segment(const Point& p, const Segment& s);
+
+/// True when the two closed segments share at least one point.
+bool segments_intersect(const Segment& s, const Segment& t);
+
+/// True when segment s intersects the closed rectangle r (including the
+/// case where s lies entirely inside r).
+bool segment_intersects_rect(const Segment& s, const Rect& r);
+
+/// Squared distance from point p to the closed segment s: the squared
+/// perpendicular distance when the foot of the perpendicular falls on the
+/// segment, otherwise the squared distance to the nearer endpoint
+/// (exactly the nearest-neighbor metric of the paper, Section 3).
+double point_segment_dist2(const Point& p, const Segment& s);
+
+inline double point_segment_dist(const Point& p, const Segment& s) {
+  return std::sqrt(point_segment_dist2(p, s));
+}
+
+}  // namespace mosaiq::geom

@@ -1,0 +1,87 @@
+// Axis-aligned rectangle (minimum bounding rectangle).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.hpp"
+
+namespace mosaiq::geom {
+
+struct Rect {
+  Point lo;  ///< min-x / min-y corner
+  Point hi;  ///< max-x / max-y corner
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  /// An inverted rectangle that acts as the identity for expand()/unite().
+  static constexpr Rect empty() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return {{inf, inf}, {-inf, -inf}};
+  }
+
+  /// A rectangle covering two (unordered) corner points.
+  static constexpr Rect of(const Point& a, const Point& b) {
+    return {{std::min(a.x, b.x), std::min(a.y, b.y)},
+            {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+
+  constexpr bool is_empty() const { return lo.x > hi.x || lo.y > hi.y; }
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+  constexpr double area() const { return is_empty() ? 0.0 : width() * height(); }
+  constexpr double half_perimeter() const { return is_empty() ? 0.0 : width() + height(); }
+
+  constexpr Point center() const { return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5}; }
+
+  /// Closed-region containment (boundary counts as inside).
+  constexpr bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  constexpr bool contains(const Rect& r) const {
+    return r.lo.x >= lo.x && r.hi.x <= hi.x && r.lo.y >= lo.y && r.hi.y <= hi.y;
+  }
+
+  /// Closed-region overlap test (touching edges intersect).
+  constexpr bool intersects(const Rect& r) const {
+    return !(r.lo.x > hi.x || r.hi.x < lo.x || r.lo.y > hi.y || r.hi.y < lo.y);
+  }
+
+  /// Grow in place to cover `p`.
+  constexpr void expand(const Point& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+
+  /// Grow in place to cover `r`.
+  constexpr void expand(const Rect& r) {
+    if (r.is_empty()) return;
+    expand(r.lo);
+    expand(r.hi);
+  }
+
+  /// Minimum squared distance from `p` to this rectangle (0 when inside).
+  constexpr double dist2(const Point& p) const {
+    const double dx = p.x < lo.x ? lo.x - p.x : (p.x > hi.x ? p.x - hi.x : 0.0);
+    const double dy = p.y < lo.y ? lo.y - p.y : (p.y > hi.y ? p.y - hi.y : 0.0);
+    return dx * dx + dy * dy;
+  }
+};
+
+constexpr Rect unite(const Rect& a, const Rect& b) {
+  Rect r = a;
+  r.expand(b);
+  return r;
+}
+
+constexpr Rect intersection(const Rect& a, const Rect& b) {
+  Rect r{{std::max(a.lo.x, b.lo.x), std::max(a.lo.y, b.lo.y)},
+         {std::min(a.hi.x, b.hi.x), std::min(a.hi.y, b.hi.y)}};
+  return r;
+}
+
+}  // namespace mosaiq::geom

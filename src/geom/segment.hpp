@@ -1,0 +1,21 @@
+// Line segment: the data item of the road-atlas workloads (streets are
+// stored as short polyline pieces, i.e. individual segments).
+#pragma once
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace mosaiq::geom {
+
+struct Segment {
+  Point a;
+  Point b;
+
+  friend constexpr bool operator==(const Segment&, const Segment&) = default;
+
+  constexpr Rect mbr() const { return Rect::of(a, b); }
+  constexpr Point midpoint() const { return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5}; }
+  double length() const { return dist(a, b); }
+};
+
+}  // namespace mosaiq::geom

@@ -1,0 +1,93 @@
+#include "hilbert/hilbert.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mosaiq::hilbert {
+
+namespace {
+
+// One quadrant-rotation step of the classic iterative Hilbert algorithm.
+void rotate(std::uint32_t n, std::uint32_t& x, std::uint32_t& y, std::uint32_t rx,
+            std::uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = n - 1 - x;
+      y = n - 1 - y;
+    }
+    std::swap(x, y);
+  }
+}
+
+}  // namespace
+
+std::uint64_t xy_to_d(unsigned order, std::uint32_t x, std::uint32_t y) {
+  assert(order <= 31);
+  std::uint64_t d = 0;
+  for (std::uint32_t s = 1u << (order - 1); s > 0; s >>= 1) {
+    const std::uint32_t rx = (x & s) ? 1 : 0;
+    const std::uint32_t ry = (y & s) ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    rotate(s, x, y, rx, ry);
+  }
+  return d;
+}
+
+void d_to_xy(unsigned order, std::uint64_t d, std::uint32_t& x, std::uint32_t& y) {
+  assert(order <= 31);
+  x = y = 0;
+  std::uint64_t t = d;
+  for (std::uint32_t s = 1; s < (1u << order); s <<= 1) {
+    const std::uint32_t rx = static_cast<std::uint32_t>((t / 2) & 1);
+    const std::uint32_t ry = static_cast<std::uint32_t>((t ^ rx) & 1);
+    rotate(s, x, y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+}
+
+std::uint64_t morton_key(std::uint32_t x, std::uint32_t y) {
+  auto spread = [](std::uint64_t v) {
+    v &= 0xffffffffull;
+    v = (v | (v << 16)) & 0x0000ffff0000ffffull;
+    v = (v | (v << 8)) & 0x00ff00ff00ff00ffull;
+    v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0full;
+    v = (v | (v << 2)) & 0x3333333333333333ull;
+    v = (v | (v << 1)) & 0x5555555555555555ull;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+Mapper::Mapper(const geom::Rect& extent, unsigned order)
+    : extent_(extent), order_(order), max_cell_((1u << order) - 1) {
+  assert(!extent.is_empty());
+  const double w = std::max(extent.width(), 1e-300);
+  const double h = std::max(extent.height(), 1e-300);
+  sx_ = static_cast<double>(1ull << order) / w;
+  sy_ = static_cast<double>(1ull << order) / h;
+}
+
+void Mapper::grid_cell(const geom::Point& p, std::uint32_t& x, std::uint32_t& y) const {
+  const double fx = (p.x - extent_.lo.x) * sx_;
+  const double fy = (p.y - extent_.lo.y) * sy_;
+  x = static_cast<std::uint32_t>(std::clamp(fx, 0.0, static_cast<double>(max_cell_)));
+  y = static_cast<std::uint32_t>(std::clamp(fy, 0.0, static_cast<double>(max_cell_)));
+}
+
+std::uint64_t Mapper::hilbert_key(const geom::Point& p) const {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  grid_cell(p, x, y);
+  return xy_to_d(order_, x, y);
+}
+
+std::uint64_t Mapper::morton(const geom::Point& p) const {
+  std::uint32_t x = 0;
+  std::uint32_t y = 0;
+  grid_cell(p, x, y);
+  return morton_key(x, y);
+}
+
+}  // namespace mosaiq::hilbert

@@ -1,0 +1,48 @@
+// Hilbert space-filling curve, used to linearize 2-D midpoints when
+// bulk-loading the packed R-tree (Kamel & Faloutsos, CIKM'93), plus a
+// Z-order (Morton) curve kept as an ablation baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace mosaiq::hilbert {
+
+/// Curve order used for index packing: a 2^16 x 2^16 grid gives a 32-bit
+/// Hilbert key, plenty of resolution for ~10^5 data items.
+inline constexpr unsigned kDefaultOrder = 16;
+
+/// Distance along the Hilbert curve of order `order` for grid cell (x, y).
+/// Requires x, y < 2^order and order <= 31.
+std::uint64_t xy_to_d(unsigned order, std::uint32_t x, std::uint32_t y);
+
+/// Inverse of xy_to_d.
+void d_to_xy(unsigned order, std::uint64_t d, std::uint32_t& x, std::uint32_t& y);
+
+/// Morton (Z-order) key for grid cell (x, y); bits of x and y interleaved.
+std::uint64_t morton_key(std::uint32_t x, std::uint32_t y);
+
+/// Maps points in `extent` onto the Hilbert grid and returns curve keys.
+/// Points on the extent boundary are clamped into the grid.
+class Mapper {
+ public:
+  Mapper(const geom::Rect& extent, unsigned order = kDefaultOrder);
+
+  std::uint64_t hilbert_key(const geom::Point& p) const;
+  std::uint64_t morton(const geom::Point& p) const;
+
+  unsigned order() const { return order_; }
+
+ private:
+  void grid_cell(const geom::Point& p, std::uint32_t& x, std::uint32_t& y) const;
+
+  geom::Rect extent_;
+  unsigned order_;
+  double sx_;  ///< cells per unit x
+  double sy_;  ///< cells per unit y
+  std::uint32_t max_cell_;
+};
+
+}  // namespace mosaiq::hilbert

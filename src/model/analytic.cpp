@@ -1,0 +1,83 @@
+#include "model/analytic.hpp"
+
+namespace mosaiq::model {
+
+namespace {
+double seconds_for_bits(double bits, double mbps) { return bits / (mbps * 1e6); }
+}  // namespace
+
+double c_tx(const Params& p) {
+  return seconds_for_bits(static_cast<double>(p.packet_tx_bits), p.bandwidth_mbps) *
+         p.client_mhz * 1e6;
+}
+
+double c_rx(const Params& p) {
+  return seconds_for_bits(static_cast<double>(p.packet_rx_bits), p.bandwidth_mbps) *
+         p.client_mhz * 1e6;
+}
+
+double c_wait(const Params& p) {
+  return (static_cast<double>(p.c_w2) / (p.server_mhz * 1e6)) * p.client_mhz * 1e6;
+}
+
+double partitioned_cycles(const Params& p) {
+  return c_tx(p) + c_wait(p) + c_rx(p) + static_cast<double>(p.c_local) +
+         static_cast<double>(p.c_protocol);
+}
+
+double fully_local_energy_j(const Params& p) {
+  const double seconds = static_cast<double>(p.c_fully_local) / (p.client_mhz * 1e6);
+  return (p.p_client_w + p.p_sleep_w) * seconds;
+}
+
+double partitioned_energy_j(const Params& p) {
+  const double t_tx = seconds_for_bits(static_cast<double>(p.packet_tx_bits), p.bandwidth_mbps);
+  const double t_rx = seconds_for_bits(static_cast<double>(p.packet_rx_bits), p.bandwidth_mbps);
+  const double t_wait = static_cast<double>(p.c_w2) / (p.server_mhz * 1e6);
+  const double t_local =
+      static_cast<double>(p.c_local + p.c_protocol) / (p.client_mhz * 1e6);
+  // NIC: tx/rx at wire time, idle while waiting; client processor active
+  // during its local portion and (conservatively, as in the paper's
+  // inequality) drawing P_client while idle-waiting too.
+  return p.p_tx_w * t_tx + p.p_rx_w * t_rx + (p.p_idle_w + p.p_client_w) * (t_wait + t_local);
+}
+
+bool partition_wins_performance(const Params& p) {
+  return static_cast<double>(p.c_fully_local) > partitioned_cycles(p);
+}
+
+bool partition_wins_energy(const Params& p) {
+  return fully_local_energy_j(p) > partitioned_energy_j(p);
+}
+
+namespace {
+
+template <typename Wins>
+double break_even(Params p, double lo, double hi, Wins&& wins) {
+  p.bandwidth_mbps = hi;
+  if (!wins(p)) return hi;
+  p.bandwidth_mbps = lo;
+  if (wins(p)) return lo;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    p.bandwidth_mbps = mid;
+    if (wins(p)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double energy_break_even_bandwidth(Params p, double lo, double hi) {
+  return break_even(p, lo, hi, [](const Params& q) { return partition_wins_energy(q); });
+}
+
+double cycles_break_even_bandwidth(Params p, double lo, double hi) {
+  return break_even(p, lo, hi, [](const Params& q) { return partition_wins_performance(q); });
+}
+
+}  // namespace mosaiq::model

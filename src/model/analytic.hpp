@@ -1,0 +1,66 @@
+// Closed-form work-partitioning trade-off model (paper Section 4.1).
+//
+// Given measured/estimated primitive quantities — local compute cycles,
+// message sizes, machine clocks, component powers — these functions
+// evaluate the paper's performance and energy win conditions for
+// offloading.  The simulator is the ground truth; this model is used by
+// the partition-advisor example and is property-tested against the
+// simulator for consistency on the communication terms.
+#pragma once
+
+#include <cstdint>
+
+namespace mosaiq::model {
+
+struct Params {
+  double bandwidth_mbps = 2.0;   ///< B, effective delivered bandwidth
+  double client_mhz = 125.0;     ///< Mhz_C
+  double server_mhz = 1000.0;    ///< Mhz_S
+
+  std::uint64_t packet_tx_bits = 0;  ///< request wire size
+  std::uint64_t packet_rx_bits = 0;  ///< response wire size
+
+  std::uint64_t c_fully_local = 0;  ///< client cycles, everything local
+  std::uint64_t c_local = 0;        ///< client cycles of the local portion (w1+w3)
+  std::uint64_t c_protocol = 0;     ///< client cycles of protocol processing
+  std::uint64_t c_w2 = 0;           ///< server cycles of the offloaded portion
+
+  double p_client_w = 0.5;    ///< client processor+memory power
+  double p_tx_w = 3.0891;     ///< NIC transmit power
+  double p_rx_w = 0.165;      ///< NIC receive power
+  double p_idle_w = 0.100;    ///< NIC idle power
+  double p_sleep_w = 0.0198;  ///< NIC sleep power
+};
+
+/// C_Tx: client cycles spent transmitting the request.
+double c_tx(const Params& p);
+
+/// C_Rx: client cycles spent receiving the response.
+double c_rx(const Params& p);
+
+/// C_wait: client cycles elapsed while the server runs its portion.
+double c_wait(const Params& p);
+
+/// Total client cycles under the partitioned execution.
+double partitioned_cycles(const Params& p);
+
+/// E_fully_local = (P_client + P_sleep) * C_fully_local / f_C.
+double fully_local_energy_j(const Params& p);
+
+/// Client energy of the partitioned execution per the Section 4.1
+/// expression: NIC tx/rx energies at wire time, idle+processor power
+/// while waiting on the server and while running the local portion.
+double partitioned_energy_j(const Params& p);
+
+/// The paper's win conditions.
+bool partition_wins_performance(const Params& p);
+bool partition_wins_energy(const Params& p);
+
+/// Bandwidth (Mbps) above which partitioning wins on energy, found by
+/// bisection over B in [lo, hi]; returns hi when it never wins.
+double energy_break_even_bandwidth(Params p, double lo = 0.1, double hi = 1000.0);
+
+/// Same for the performance criterion.
+double cycles_break_even_bandwidth(Params p, double lo = 0.1, double hi = 1000.0);
+
+}  // namespace mosaiq::model

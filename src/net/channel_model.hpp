@@ -1,0 +1,74 @@
+// Channel-error model: from raw link rate + bit-error rate to the
+// paper's "effective (delivered) bandwidth".
+//
+// The paper folds noise and loss into an effective bandwidth B
+// ("we assume those issues can be subsumed by an appropriate choice of
+// the effective wireless communication bandwidth", Section 4).  This
+// module makes the folding explicit for a stop-and-wait ARQ link:
+// a frame of F bytes succeeds with probability (1-ber)^(8F) and is
+// retransmitted until delivered, so
+//
+//   E[transmissions per frame] = 1 / (1-ber)^(8F)
+//   effective = raw * payload_fraction * (1-ber)^(8F)
+//
+// which also exposes the MTU trade-off: bigger frames amortize headers
+// but fail (and retransmit) more at a given BER — there is an optimal
+// frame size per BER.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "net/protocol.hpp"
+
+namespace mosaiq::net {
+
+struct ErrorChannelConfig {
+  double raw_mbps = 11.0;       ///< physical link rate
+  double bit_error_rate = 0.0;  ///< independent bit errors
+};
+
+/// Probability one frame of `frame_bytes` arrives intact.
+inline double frame_success_probability(double ber, std::uint32_t frame_bytes) {
+  if (ber <= 0.0) return 1.0;
+  return std::pow(1.0 - ber, 8.0 * static_cast<double>(frame_bytes));
+}
+
+/// Expected transmissions per frame under retransmit-until-delivered.
+inline double expected_transmissions(double ber, std::uint32_t frame_bytes) {
+  const double p = frame_success_probability(ber, frame_bytes);
+  return p > 0.0 ? 1.0 / p : std::numeric_limits<double>::infinity();
+}
+
+/// Effective delivered payload bandwidth (Mbps) for a given MTU: raw
+/// rate, discounted by the header share of each frame and by expected
+/// retransmissions.
+inline double effective_bandwidth_mbps(const ErrorChannelConfig& ch,
+                                       const ProtocolConfig& proto = {}) {
+  const double payload_fraction =
+      static_cast<double>(proto.mtu_bytes - proto.header_bytes) /
+      static_cast<double>(proto.mtu_bytes);
+  return ch.raw_mbps * payload_fraction *
+         frame_success_probability(ch.bit_error_rate, proto.mtu_bytes);
+}
+
+/// The MTU maximizing effective bandwidth at a given BER (swept over
+/// power-of-two-ish sizes above the header).
+inline std::uint32_t best_mtu_bytes(const ErrorChannelConfig& ch,
+                                    std::uint32_t header_bytes = 40) {
+  std::uint32_t best = header_bytes + 32;
+  double best_bw = 0.0;
+  for (std::uint32_t mtu = header_bytes + 32; mtu <= 65536; mtu += 32) {
+    ProtocolConfig proto;
+    proto.mtu_bytes = mtu;
+    proto.header_bytes = header_bytes;
+    const double bw = effective_bandwidth_mbps(ch, proto);
+    if (bw > best_bw) {
+      best_bw = bw;
+      best = mtu;
+    }
+  }
+  return best;
+}
+
+}  // namespace mosaiq::net

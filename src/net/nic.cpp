@@ -1,0 +1,34 @@
+#include "net/nic.hpp"
+
+namespace mosaiq::net {
+
+double Nic::state_mw(NicState s) const {
+  switch (s) {
+    case NicState::Transmit: return power_.tx_mw(distance_m_);
+    case NicState::Receive: return power_.rx_mw;
+    case NicState::Idle: return power_.idle_mw;
+    case NicState::Sleep: return power_.sleep_mw;
+  }
+  return 0.0;
+}
+
+void Nic::spend(NicState state, double seconds) {
+  if (seconds <= 0.0) return;
+  seconds_[idx(state)] += seconds;
+  joules_[idx(state)] += state_mw(state) * 1e-3 * seconds;
+}
+
+double Nic::sleep_exit() {
+  // The radio settles through its synthesizer power-up; charge the exit
+  // window at idle power (it is not yet receiving or transmitting).
+  spend(NicState::Idle, power_.sleep_exit_s);
+  return power_.sleep_exit_s;
+}
+
+double Nic::total_joules() const {
+  double t = 0.0;
+  for (const double j : joules_) t += j;
+  return t;
+}
+
+}  // namespace mosaiq::net

@@ -1,0 +1,73 @@
+#include "net/protocol.hpp"
+
+#include <algorithm>
+
+namespace mosaiq::net {
+
+namespace {
+
+using rtree::InstrMix;
+namespace simaddr = rtree::simaddr;
+
+/// Per-packet fixed overhead: header construction/parse, socket + driver
+/// bookkeeping, interrupt handling.
+constexpr InstrMix kPerPacket{420, 6, 160};
+
+/// Internet checksum: one add per 16-bit word.
+constexpr InstrMix kChecksumPerWord{1, 0, 0};
+
+}  // namespace
+
+std::uint64_t control_bytes(std::uint32_t peer_data_packets, const ProtocolConfig& cfg) {
+  const std::uint32_t acks =
+      cfg.ack_every == 0 ? 0 : (peer_data_packets + cfg.ack_every - 1) / cfg.ack_every;
+  return std::uint64_t{cfg.control_packets + acks} * cfg.header_bytes;
+}
+
+WireCost wire_cost(std::uint64_t payload_bytes, const ProtocolConfig& cfg) {
+  WireCost w;
+  w.payload_bytes = payload_bytes;
+  const std::uint64_t effective = std::max<std::uint64_t>(payload_bytes, cfg.min_payload_bytes);
+  const std::uint64_t per_packet_payload = cfg.mtu_bytes - cfg.header_bytes;
+  w.packets = static_cast<std::uint32_t>((effective + per_packet_payload - 1) / per_packet_payload);
+  w.wire_bytes = payload_bytes + std::uint64_t{w.packets} * cfg.header_bytes;
+  return w;
+}
+
+namespace {
+
+void charge_common(const WireCost& w, rtree::ExecHooks& cpu, bool tx) {
+  // Per-packet control path.
+  cpu.instr(kPerPacket * w.packets);
+
+  // Checksum over the payload (16-bit word adds) + header checksums.
+  const std::uint64_t csum_words = (w.wire_bytes + 1) / 2;
+  cpu.instr(InstrMix{csum_words, 0, csum_words / 16});
+
+  // One pass over the payload between the application buffer and the NIC
+  // buffer.  tx: read app buffer, write NIC; rx: read NIC, write app.
+  const std::uint64_t app = simaddr::kNetBase;
+  const std::uint64_t nicbuf = simaddr::kNetBase + (4u << 20);
+  std::uint64_t remaining = w.payload_bytes;
+  std::uint64_t off = 0;
+  while (remaining > 0) {
+    const std::uint32_t chunk = static_cast<std::uint32_t>(std::min<std::uint64_t>(remaining, 4096));
+    if (tx) {
+      cpu.read(app + off, chunk);
+      cpu.write(nicbuf + (off % (2u << 20)), chunk);
+    } else {
+      cpu.read(nicbuf + (off % (2u << 20)), chunk);
+      cpu.write(app + off, chunk);
+    }
+    off += chunk;
+    remaining -= chunk;
+  }
+}
+
+}  // namespace
+
+void charge_protocol_tx(const WireCost& w, rtree::ExecHooks& cpu) { charge_common(w, cpu, true); }
+
+void charge_protocol_rx(const WireCost& w, rtree::ExecHooks& cpu) { charge_common(w, cpu, false); }
+
+}  // namespace mosaiq::net

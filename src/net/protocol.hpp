@@ -1,0 +1,65 @@
+// TCP/IP packetization over the wireless link plus the client-side
+// protocol-processing cost model.
+//
+// Every message is broken into MTU-sized frames each carrying a 40 B
+// TCP+IP header (paper Section 5.2).  Transfer time follows from the
+// effective delivered bandwidth B; channel imperfections (errors,
+// contention) are subsumed into B exactly as in the paper.  Protocol
+// processing on the client — packet assembly, checksumming, and the
+// copy between the application buffer and the NIC — is charged to the
+// client CPU through the ExecHooks interface, which is what makes the
+// E_protocol / C_protocol terms of Section 4.1 first-class citizens.
+#pragma once
+
+#include <cstdint>
+
+#include "rtree/exec.hpp"
+
+namespace mosaiq::net {
+
+struct ProtocolConfig {
+  std::uint32_t mtu_bytes = 1500;       ///< maximum transmission unit
+  std::uint32_t header_bytes = 40;      ///< TCP (20) + IP (20) per packet
+  std::uint32_t min_payload_bytes = 1;  ///< a message always sends >= 1 frame
+  /// TCP control packets (SYN / FIN / window updates) sent by each side
+  /// per request/response exchange.
+  std::uint32_t control_packets = 3;
+  /// One pure-ACK packet is returned for every `ack_every` received data
+  /// packets (delayed ACK).
+  std::uint32_t ack_every = 2;
+};
+
+/// Bare control/ACK packets a side must *transmit* during one exchange,
+/// given how many data packets it receives from the peer.
+std::uint64_t control_bytes(std::uint32_t peer_data_packets, const ProtocolConfig& cfg = {});
+
+/// Wire-level footprint of one message.
+struct WireCost {
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;  ///< payload + per-packet headers
+  std::uint32_t packets = 0;
+
+  std::uint64_t wire_bits() const { return wire_bytes * 8; }
+};
+
+WireCost wire_cost(std::uint64_t payload_bytes, const ProtocolConfig& cfg = {});
+
+/// Effective wireless channel.
+struct Channel {
+  double bandwidth_mbps = 2.0;
+  double distance_m = 1000.0;
+
+  double seconds_for(const WireCost& w) const {
+    return static_cast<double>(w.wire_bits()) / (bandwidth_mbps * 1e6);
+  }
+};
+
+/// Charges the CPU work of sending a message (segmentation, header
+/// construction, checksum, buffer copy to the NIC) to `cpu`.
+void charge_protocol_tx(const WireCost& w, rtree::ExecHooks& cpu);
+
+/// Charges the CPU work of receiving a message (reassembly, checksum
+/// verification, copy from the NIC buffer) to `cpu`.
+void charge_protocol_rx(const WireCost& w, rtree::ExecHooks& cpu);
+
+}  // namespace mosaiq::net

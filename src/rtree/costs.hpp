@@ -1,0 +1,71 @@
+// Calibrated instruction mixes for the geometric and index primitives.
+//
+// The paper ran compiled binaries through SimplePower, whose client is a
+// single-issue *integer* pipeline (Table 3): all double-precision
+// geometry executes as software floating point.  The mixes below
+// therefore price each FP add/sub/compare at ~12-16 integer ops and each
+// FP multiply/divide at ~25-40 (a soft-float factor of roughly 15x over
+// hardware FP, consistent with double-precision emulation libraries), which is what makes the refinement step as expensive
+// relative to communication as the paper's Figure 5 shows.  Memory
+// traffic is NOT included here — the traversal code reports it
+// separately through ExecHooks::read/write against the real node/record
+// layout.
+#pragma once
+
+#include "rtree/exec.hpp"
+
+namespace mosaiq::rtree::costs {
+
+/// float-MBR vs query rect overlap test inside an index node scan
+/// (4 soft-float compares + short-circuit logic).
+inline constexpr InstrMix kRectOverlap{100, 0, 36};
+
+/// float-MBR contains-point test inside an index node scan.
+inline constexpr InstrMix kRectContainsPoint{100, 0, 36};
+
+/// Minimum squared distance from a point to an MBR (NN ordering):
+/// clamps + 2 multiplies + add.
+inline constexpr InstrMix kRectDist2{220, 36, 60};
+
+/// Orientation sign of a point triple (cross product + compares).
+inline constexpr InstrMix kOrientation{180, 32, 44};
+
+/// Closed segment vs segment intersection (4 orientations + specials).
+inline constexpr InstrMix kSegSegIntersect{760, 128, 200};
+
+/// Segment vs rectangle intersection, average path: endpoint-containment
+/// shortcuts plus on average ~2 edge tests before a verdict.
+inline constexpr InstrMix kSegRectIntersect{1900, 280, 520};
+
+/// Exact point-on-segment test used by point-query refinement.
+inline constexpr InstrMix kPointOnSegment{300, 36, 90};
+
+/// Point-to-segment squared distance (projection, division, clamps).
+inline constexpr InstrMix kPointSegDist2{420, 120, 60};
+
+/// Per-node visit overhead: stack push/pop, loop setup, header decode
+/// (integer work).
+inline constexpr InstrMix kNodeVisit{12, 0, 5};
+
+/// Per-entry loop overhead inside a node scan (index arithmetic, branch).
+inline constexpr InstrMix kEntryLoop{3, 0, 1};
+
+/// Binary-heap push or pop for the NN priority queue, including one
+/// soft-float key comparison per level (averaged).
+inline constexpr InstrMix kHeapOp{60, 4, 20};
+
+/// Appending one id to a result vector (bounds check + increment).
+inline constexpr InstrMix kResultPush{4, 0, 2};
+
+/// Per-record overhead when the refinement step fetches a candidate.
+inline constexpr InstrMix kCandidateFetch{6, 0, 2};
+
+/// Hilbert key derivation for one point (order-16 integer loop), charged
+/// when the server builds a shipment sub-index.
+inline constexpr InstrMix kHilbertKey{260, 34, 96};
+
+/// Comparison-sort cost per element per log-level (shipment sub-index
+/// build); multiplied by n*ceil(log2 n) by the caller.
+inline constexpr InstrMix kSortStep{10, 0, 6};
+
+}  // namespace mosaiq::rtree::costs

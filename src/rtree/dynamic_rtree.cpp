@@ -1,0 +1,316 @@
+#include "rtree/dynamic_rtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+#include "geom/predicates.hpp"
+#include "rtree/costs.hpp"
+
+namespace mosaiq::rtree {
+
+namespace {
+
+double enlargement(const geom::Rect& mbr, const geom::Rect& add) {
+  return geom::unite(mbr, add).area() - mbr.area();
+}
+
+}  // namespace
+
+DynamicRTree DynamicRTree::build(const SegmentStore& store) {
+  DynamicRTree t;
+  for (std::uint32_t i = 0; i < store.size(); ++i) t.insert(i, store.segment(i).mbr());
+  return t;
+}
+
+std::uint32_t DynamicRTree::choose_leaf(const geom::Rect& mbr) const {
+  std::uint32_t ni = root_;
+  while (!nodes_[ni].leaf) {
+    const DNode& n = nodes_[ni];
+    double best_enl = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    std::uint32_t best = n.children.front();
+    for (std::size_t e = 0; e < n.children.size(); ++e) {
+      const double enl = enlargement(n.rects[e], mbr);
+      const double area = n.rects[e].area();
+      if (enl < best_enl || (enl == best_enl && area < best_area)) {
+        best_enl = enl;
+        best_area = area;
+        best = n.children[e];
+      }
+    }
+    ni = best;
+  }
+  return ni;
+}
+
+void DynamicRTree::insert(std::uint32_t rec, const geom::Rect& mbr) {
+  const std::uint32_t leaf = choose_leaf(mbr);
+  DNode& n = nodes_[leaf];
+  n.children.push_back(rec);
+  n.rects.push_back(mbr);
+  n.mbr.expand(mbr);
+  ++size_;
+  if (n.children.size() > kNodeCapacity) {
+    split(leaf);
+  } else {
+    adjust_upward(leaf);
+  }
+}
+
+void DynamicRTree::split(std::uint32_t ni) {
+  // Guttman's quadratic split: pick the pair of entries whose combined
+  // MBR wastes the most area as seeds, then assign the rest greedily by
+  // enlargement preference.
+  DNode& n = nodes_[ni];
+  const std::size_t m = n.children.size();
+  assert(m > 1);
+
+  std::size_t seed_a = 0;
+  std::size_t seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double waste =
+          geom::unite(n.rects[i], n.rects[j]).area() - n.rects[i].area() - n.rects[j].area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  DNode a;
+  DNode b;
+  a.leaf = b.leaf = n.leaf;
+  a.parent = b.parent = n.parent;
+  auto push = [](DNode& d, std::uint32_t child, const geom::Rect& r) {
+    d.children.push_back(child);
+    d.rects.push_back(r);
+    d.mbr.expand(r);
+  };
+  push(a, n.children[seed_a], n.rects[seed_a]);
+  push(b, n.children[seed_b], n.rects[seed_b]);
+
+  const std::size_t min_fill = kNodeCapacity / 2;
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(i);
+  }
+  for (std::size_t k = 0; k < rest.size(); ++k) {
+    const std::size_t i = rest[k];
+    const std::size_t remaining = rest.size() - k;
+    if (a.children.size() + remaining <= min_fill) {
+      push(a, n.children[i], n.rects[i]);
+      continue;
+    }
+    if (b.children.size() + remaining <= min_fill) {
+      push(b, n.children[i], n.rects[i]);
+      continue;
+    }
+    const double ea = enlargement(a.mbr, n.rects[i]);
+    const double eb = enlargement(b.mbr, n.rects[i]);
+    if (ea < eb || (ea == eb && a.children.size() <= b.children.size())) {
+      push(a, n.children[i], n.rects[i]);
+    } else {
+      push(b, n.children[i], n.rects[i]);
+    }
+  }
+
+  const std::uint32_t bi = static_cast<std::uint32_t>(nodes_.size());
+  const std::uint32_t parent = n.parent;
+  nodes_[ni] = std::move(a);
+  nodes_.push_back(std::move(b));
+
+  // Re-parent the children of the new node when internal.
+  if (!nodes_[bi].leaf) {
+    for (const std::uint32_t c : nodes_[bi].children) nodes_[c].parent = bi;
+  }
+
+  if (parent == kNoNode) {
+    // Root split: create a new root above both halves.
+    const std::uint32_t new_root = static_cast<std::uint32_t>(nodes_.size());
+    DNode r;
+    r.leaf = false;
+    r.children = {ni, bi};
+    r.rects = {nodes_[ni].mbr, nodes_[bi].mbr};
+    r.mbr = geom::unite(nodes_[ni].mbr, nodes_[bi].mbr);
+    nodes_.push_back(std::move(r));
+    nodes_[ni].parent = new_root;
+    nodes_[bi].parent = new_root;
+    root_ = new_root;
+    ++height_;
+    return;
+  }
+
+  DNode& p = nodes_[parent];
+  for (std::size_t e = 0; e < p.children.size(); ++e) {
+    if (p.children[e] == ni) {
+      p.rects[e] = nodes_[ni].mbr;
+      break;
+    }
+  }
+  p.children.push_back(bi);
+  p.rects.push_back(nodes_[bi].mbr);
+  p.mbr.expand(nodes_[bi].mbr);
+  if (p.children.size() > kNodeCapacity) {
+    split(parent);
+  } else {
+    adjust_upward(parent);
+  }
+}
+
+void DynamicRTree::adjust_upward(std::uint32_t ni) {
+  std::uint32_t cur = ni;
+  while (nodes_[cur].parent != kNoNode) {
+    const std::uint32_t p = nodes_[cur].parent;
+    DNode& pn = nodes_[p];
+    for (std::size_t e = 0; e < pn.children.size(); ++e) {
+      if (pn.children[e] == cur) {
+        pn.rects[e] = nodes_[cur].mbr;
+        break;
+      }
+    }
+    pn.mbr.expand(nodes_[cur].mbr);
+    cur = p;
+  }
+}
+
+void DynamicRTree::filter_point(const geom::Point& p, ExecHooks& hooks,
+                                std::vector<std::uint32_t>& out) const {
+  if (size_ == 0) return;
+  std::uint64_t result_addr = simaddr::kScratchBase;
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const std::uint32_t ni = stack.back();
+    stack.pop_back();
+    const DNode& n = nodes_[ni];
+    const std::uint64_t na = node_addr(ni);
+    hooks.instr(costs::kNodeVisit);
+    hooks.read(na, kNodeHeaderBytes);
+    for (std::size_t e = 0; e < n.children.size(); ++e) {
+      hooks.instr(costs::kEntryLoop);
+      hooks.instr(costs::kRectContainsPoint);
+      hooks.read(na + kNodeHeaderBytes + e * kEntryBytes, kEntryBytes);
+      if (!n.rects[e].contains(p)) continue;
+      if (n.leaf) {
+        hooks.instr(costs::kResultPush);
+        hooks.write(result_addr, 4);
+        result_addr += 4;
+        out.push_back(n.children[e]);
+      } else {
+        stack.push_back(n.children[e]);
+      }
+    }
+  }
+}
+
+void DynamicRTree::filter_range(const geom::Rect& window, ExecHooks& hooks,
+                                std::vector<std::uint32_t>& out) const {
+  if (size_ == 0) return;
+  std::uint64_t result_addr = simaddr::kScratchBase;
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const std::uint32_t ni = stack.back();
+    stack.pop_back();
+    const DNode& n = nodes_[ni];
+    const std::uint64_t na = node_addr(ni);
+    hooks.instr(costs::kNodeVisit);
+    hooks.read(na, kNodeHeaderBytes);
+    for (std::size_t e = 0; e < n.children.size(); ++e) {
+      hooks.instr(costs::kEntryLoop);
+      hooks.instr(costs::kRectOverlap);
+      hooks.read(na + kNodeHeaderBytes + e * kEntryBytes, kEntryBytes);
+      if (!n.rects[e].intersects(window)) continue;
+      if (n.leaf) {
+        hooks.instr(costs::kResultPush);
+        hooks.write(result_addr, 4);
+        result_addr += 4;
+        out.push_back(n.children[e]);
+      } else {
+        stack.push_back(n.children[e]);
+      }
+    }
+  }
+}
+
+std::optional<NNResult> DynamicRTree::nearest(const geom::Point& p, const SegmentStore& store,
+                                              ExecHooks& hooks) const {
+  std::vector<NNResult> r = nearest_k(p, 1, store, hooks);
+  if (r.empty()) return std::nullopt;
+  return r.front();
+}
+
+std::vector<NNResult> DynamicRTree::nearest_k(const geom::Point& p, std::uint32_t k,
+                                              const SegmentStore& store,
+                                              ExecHooks& hooks) const {
+  std::vector<NNResult> out;
+  if (size_ == 0 || k == 0) return out;
+  struct Item {
+    double d;
+    bool is_data;
+    std::uint32_t idx;
+    bool operator>(const Item& o) const { return d > o.d; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.push({0.0, false, root_});
+  while (!heap.empty()) {
+    hooks.instr(costs::kHeapOp);
+    const Item it = heap.top();
+    heap.pop();
+    if (it.is_data) {
+      out.push_back(NNResult{it.idx, store.id(it.idx), std::sqrt(it.d)});
+      if (out.size() == k) return out;
+      continue;
+    }
+    const DNode& n = nodes_[it.idx];
+    const std::uint64_t na = node_addr(it.idx);
+    hooks.instr(costs::kNodeVisit);
+    hooks.read(na, kNodeHeaderBytes);
+    for (std::size_t e = 0; e < n.children.size(); ++e) {
+      hooks.instr(costs::kEntryLoop);
+      hooks.read(na + kNodeHeaderBytes + e * kEntryBytes, kEntryBytes);
+      if (n.leaf) {
+        const geom::Segment& s = store.fetch(n.children[e], hooks);
+        hooks.instr(costs::kPointSegDist2);
+        heap.push({geom::point_segment_dist2(p, s), true, n.children[e]});
+      } else {
+        hooks.instr(costs::kRectDist2);
+        heap.push({n.rects[e].dist2(p), false, n.children[e]});
+      }
+      hooks.instr(costs::kHeapOp);
+    }
+  }
+  return out;  // fewer than k records in the tree
+}
+
+bool DynamicRTree::validate() const {
+  if (size_ == 0) return true;
+  std::size_t records = 0;
+  std::vector<std::uint32_t> stack{root_};
+  while (!stack.empty()) {
+    const std::uint32_t ni = stack.back();
+    stack.pop_back();
+    const DNode& n = nodes_[ni];
+    if (n.children.size() != n.rects.size()) return false;
+    if (n.children.size() > kNodeCapacity) return false;
+    geom::Rect cover = geom::Rect::empty();
+    for (std::size_t e = 0; e < n.children.size(); ++e) {
+      cover.expand(n.rects[e]);
+      if (!n.leaf) {
+        const DNode& c = nodes_[n.children[e]];
+        if (c.parent != ni) return false;
+        if (!n.rects[e].contains(c.mbr)) return false;
+        stack.push_back(n.children[e]);
+      } else {
+        ++records;
+      }
+    }
+    if (!n.mbr.contains(cover)) return false;
+  }
+  return records == size_;
+}
+
+}  // namespace mosaiq::rtree

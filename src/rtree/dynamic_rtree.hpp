@@ -1,0 +1,77 @@
+// Dynamic R-tree (Guttman, SIGMOD'84) with quadratic split.
+//
+// The paper uses a *packed* R-tree because its datasets are static; this
+// dynamic variant is kept as the ablation baseline (bench/abl_packing)
+// and as an independent oracle for query-correctness tests: both trees
+// must return identical answer sets for every query.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/segment.hpp"
+#include "rtree/exec.hpp"
+#include "rtree/node.hpp"
+#include "rtree/packed_rtree.hpp"
+#include "rtree/segment_store.hpp"
+
+namespace mosaiq::rtree {
+
+class DynamicRTree {
+ public:
+  explicit DynamicRTree(std::uint64_t base_addr = simaddr::kIndexBase + (64ull << 20))
+      : base_addr_(base_addr) {}
+
+  /// Inserts record `rec` (an index into the backing store) with MBR `mbr`.
+  void insert(std::uint32_t rec, const geom::Rect& mbr);
+
+  /// Convenience: inserts every record of a store.
+  static DynamicRTree build(const SegmentStore& store);
+
+  std::size_t size() const { return size_; }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::uint32_t height() const { return height_; }
+  std::uint64_t bytes() const { return nodes_.size() * std::uint64_t{kNodeBytes}; }
+
+  void filter_point(const geom::Point& p, ExecHooks& hooks, std::vector<std::uint32_t>& out) const;
+  void filter_range(const geom::Rect& window, ExecHooks& hooks,
+                    std::vector<std::uint32_t>& out) const;
+
+  std::optional<NNResult> nearest(const geom::Point& p, const SegmentStore& store,
+                                  ExecHooks& hooks) const;
+
+  /// The k nearest segments, ascending by distance.
+  std::vector<NNResult> nearest_k(const geom::Point& p, std::uint32_t k,
+                                  const SegmentStore& store, ExecHooks& hooks) const;
+
+  /// Structural invariants (parent MBRs cover children, record multiset
+  /// matches insertions); used by tests.
+  bool validate() const;
+
+ private:
+  struct DNode {
+    bool leaf = true;
+    geom::Rect mbr = geom::Rect::empty();
+    std::vector<std::uint32_t> children;  ///< node indices or record indices
+    std::vector<geom::Rect> rects;        ///< child MBRs (parallel array)
+    std::uint32_t parent = kNoNode;
+  };
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+  std::uint32_t choose_leaf(const geom::Rect& mbr) const;
+  void split(std::uint32_t ni);
+  void adjust_upward(std::uint32_t ni);
+  std::uint64_t node_addr(std::uint32_t i) const {
+    return base_addr_ + static_cast<std::uint64_t>(i) * kNodeBytes;
+  }
+
+  std::vector<DNode> nodes_{DNode{}};  // node 0 is the root
+  std::uint32_t root_ = 0;
+  std::uint32_t height_ = 1;
+  std::size_t size_ = 0;
+  std::uint64_t base_addr_;
+};
+
+}  // namespace mosaiq::rtree

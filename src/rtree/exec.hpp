@@ -1,0 +1,101 @@
+// Execution instrumentation interface.
+//
+// The query engine does not know *which* machine it is running on: every
+// traversal/refinement routine takes an ExecHooks and reports
+//   - compute work as typed instruction mixes (instr), and
+//   - memory traffic as reads/writes of *simulated addresses* that map
+//     onto the real layout of the index nodes and segment records.
+// The simulator (src/sim) implements these hooks on top of a cache
+// hierarchy and an energy model; NullHooks discards everything so the
+// spatial library is usable (and testable) standalone.
+//
+// Convention: memory instructions (loads/stores) are accounted ONLY via
+// read()/write() — one word-sized memory instruction per 4 bytes — while
+// InstrMix carries only non-memory instructions.  This keeps datapath
+// energy and the D-cache stream consistent without double counting.
+#pragma once
+
+#include <cstdint>
+
+namespace mosaiq::rtree {
+
+/// Non-memory instruction mix for a unit of work.  `alu` covers integer
+/// and FP add/sub/compare/logic, `mul` covers multiply/divide (and is
+/// charged a higher datapath energy), `branch` covers control flow.
+struct InstrMix {
+  std::uint64_t alu = 0;
+  std::uint64_t mul = 0;
+  std::uint64_t branch = 0;
+
+  constexpr std::uint64_t total() const { return alu + mul + branch; }
+
+  constexpr InstrMix operator*(std::uint64_t n) const { return {alu * n, mul * n, branch * n}; }
+
+  constexpr InstrMix& operator+=(const InstrMix& o) {
+    alu += o.alu;
+    mul += o.mul;
+    branch += o.branch;
+    return *this;
+  }
+};
+
+class ExecHooks {
+ public:
+  virtual ~ExecHooks() = default;
+
+  /// Retire a batch of non-memory instructions.
+  virtual void instr(const InstrMix& mix) = 0;
+
+  /// Read `bytes` bytes starting at simulated address `addr`.
+  virtual void read(std::uint64_t addr, std::uint32_t bytes) = 0;
+
+  /// Write `bytes` bytes starting at simulated address `addr`.
+  virtual void write(std::uint64_t addr, std::uint32_t bytes) = 0;
+};
+
+/// Hooks that count nothing; for plain library use and unit tests.
+class NullHooks final : public ExecHooks {
+ public:
+  void instr(const InstrMix&) override {}
+  void read(std::uint64_t, std::uint32_t) override {}
+  void write(std::uint64_t, std::uint32_t) override {}
+};
+
+/// Shared singleton NullHooks (the hooks are stateless).
+ExecHooks& null_hooks();
+
+/// Hooks that simply accumulate totals; used by tests and by quick
+/// work-estimation passes that don't need a full machine model.
+class CountingHooks final : public ExecHooks {
+ public:
+  void instr(const InstrMix& mix) override { mix_ += mix; }
+  void read(std::uint64_t, std::uint32_t bytes) override { bytes_read_ += bytes; }
+  void write(std::uint64_t, std::uint32_t bytes) override { bytes_written_ += bytes; }
+
+  const InstrMix& mix() const { return mix_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  /// Total instruction count including one memory instruction per word.
+  std::uint64_t instructions() const {
+    return mix_.total() + (bytes_read_ + bytes_written_ + 3) / 4;
+  }
+
+  void reset() { *this = CountingHooks{}; }
+
+ private:
+  InstrMix mix_{};
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Simulated memory map.  All simulated addresses used by the engine fall
+/// in these disjoint regions; the regions exist purely so that the cache
+/// simulator sees a realistic, collision-prone address stream.
+namespace simaddr {
+inline constexpr std::uint64_t kIndexBase = 0x1000'0000ull;    ///< R-tree node pools
+inline constexpr std::uint64_t kDataBase = 0x4000'0000ull;     ///< segment records
+inline constexpr std::uint64_t kScratchBase = 0x7000'0000ull;  ///< result lists, heaps
+inline constexpr std::uint64_t kNetBase = 0x7800'0000ull;      ///< protocol buffers
+}  // namespace simaddr
+
+}  // namespace mosaiq::rtree

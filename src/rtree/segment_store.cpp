@@ -1,0 +1,26 @@
+#include "rtree/segment_store.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace mosaiq::rtree {
+
+SegmentStore::SegmentStore(std::vector<geom::Segment> segs, std::span<const std::uint32_t> ids,
+                           std::uint64_t base_addr)
+    : segs_(std::move(segs)), base_addr_(base_addr) {
+  if (ids.empty()) {
+    ids_.resize(segs_.size());
+    std::iota(ids_.begin(), ids_.end(), 0u);
+  } else {
+    assert(ids.size() == segs_.size());
+    ids_.assign(ids.begin(), ids.end());
+  }
+}
+
+geom::Rect SegmentStore::extent() const {
+  geom::Rect r = geom::Rect::empty();
+  for (const auto& s : segs_) r.expand(s.mbr());
+  return r;
+}
+
+}  // namespace mosaiq::rtree

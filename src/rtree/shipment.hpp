@@ -1,0 +1,58 @@
+// Server-side selection of data + sub-index to ship to a memory-limited
+// client (the Figure 2 algorithm of the paper, insufficient-memory
+// scenario).
+//
+// Two policies:
+//   - WindowExpand: grow the query window symmetrically until the budget
+//     is exhausted; ship every segment whose MBR intersects the expanded
+//     window W.  Any later query fully inside W is then answerable
+//     locally (a segment intersecting Q ⊆ W has an MBR intersecting W,
+//     so it was shipped) — W itself is the safe rectangle.
+//   - HilbertRange: the paper's packed-R-tree flavor — take the leaf on
+//     the query path and add leaves on either side of it in packed
+//     (Hilbert) order until the budget is exhausted; the safe rectangle
+//     is then derived by shrinking an expansion of the query window until
+//     every leaf it touches is in the shipped set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "rtree/packed_rtree.hpp"
+#include "rtree/segment_store.hpp"
+
+namespace mosaiq::rtree {
+
+enum class ShipPolicy { WindowExpand, HilbertRange };
+
+struct Shipment {
+  std::vector<geom::Segment> segments;  ///< shipped data items (Hilbert order)
+  std::vector<std::uint32_t> ids;       ///< their master object ids
+  geom::Rect safe_rect;                 ///< queries fully inside run locally
+  std::uint64_t node_count = 0;         ///< nodes of the shipped sub-index
+
+  std::uint64_t data_wire_bytes() const { return segments.size() * std::uint64_t{kRecordBytes}; }
+  std::uint64_t index_wire_bytes() const { return node_count * std::uint64_t{kNodeBytes}; }
+  std::uint64_t total_wire_bytes() const { return data_wire_bytes() + index_wire_bytes(); }
+};
+
+/// Client memory available for shipped data + index, in bytes.
+struct ShipmentBudget {
+  std::uint64_t bytes = 1u << 20;
+};
+
+/// Runs on the server: selects the shipped set around `query_window`,
+/// charging the selection and sub-index construction work to
+/// `server_hooks`.  The result always covers at least the query's own
+/// answer set (provided the budget admits it; otherwise the shipment
+/// degrades to exactly the intersecting leaves of the query window and
+/// safe_rect collapses to the window itself).
+Shipment extract_shipment(const PackedRTree& master, const SegmentStore& store,
+                          const geom::Rect& query_window, ShipmentBudget budget,
+                          ShipPolicy policy, ExecHooks& server_hooks);
+
+/// Wire + memory size of shipping `n_segments` with their sub-index.
+std::uint64_t shipment_bytes(std::uint64_t n_segments);
+
+}  // namespace mosaiq::rtree

@@ -1,0 +1,71 @@
+// Battery model for session-level endurance estimates.
+//
+// The paper's motivation is "how long the device runs on battery"; the
+// figures stop at Joules.  This model closes the loop: a rated capacity
+// plus Peukert-style rate dependence (sustained high draw yields less
+// usable charge than trickle draw) and a usable depth-of-discharge
+// bound, so example programs can convert an Outcome into
+// sessions-per-charge under different draw profiles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace mosaiq::sim {
+
+struct BatteryConfig {
+  double voltage_v = 3.6;
+  double capacity_mah = 1000.0;   ///< rated at the nominal discharge rate
+  double nominal_draw_w = 0.5;    ///< rate at which the rating was taken
+  /// Peukert exponent: 1.0 = ideal; Li-ion ~1.05, NiMH ~1.15.
+  double peukert = 1.08;
+  /// Fraction of rated charge usable before cutoff.
+  double usable_fraction = 0.9;
+
+  /// Rated energy at the nominal rate, in Joules.
+  double rated_joules() const { return voltage_v * capacity_mah * 3.6; }
+
+  /// Usable energy when discharged at a sustained `draw_w`: the Peukert
+  /// effect shrinks effective capacity as the rate rises above nominal.
+  double usable_joules(double draw_w) const {
+    const double ratio = std::max(draw_w, 1e-6) / nominal_draw_w;
+    const double derate = std::pow(ratio, peukert - 1.0);
+    return rated_joules() * usable_fraction / std::max(derate, 1e-6);
+  }
+
+  /// Runtime in seconds at a sustained draw.
+  double runtime_s(double draw_w) const {
+    return usable_joules(draw_w) / std::max(draw_w, 1e-9);
+  }
+};
+
+/// Tracks charge across a sequence of (energy, duration) activities.
+class Battery {
+ public:
+  explicit Battery(const BatteryConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Consumes `joules` spread over `seconds`; the average power of the
+  /// activity sets its Peukert derating.  Returns false once empty (the
+  /// activity that crosses the cutoff still consumes).
+  bool consume(double joules, double seconds) {
+    if (joules <= 0) return !empty();
+    const double draw = joules / std::max(seconds, 1e-9);
+    const double budget = cfg_.usable_joules(draw);
+    // Scale the charge cost by the derating for this draw level.
+    spent_fraction_ += joules / std::max(budget, 1e-12);
+    return !empty();
+  }
+
+  bool empty() const { return spent_fraction_ >= 1.0; }
+
+  /// Remaining charge as a fraction of a full battery (0..1).
+  double remaining_fraction() const { return std::clamp(1.0 - spent_fraction_, 0.0, 1.0); }
+
+  const BatteryConfig& config() const { return cfg_; }
+
+ private:
+  BatteryConfig cfg_;
+  double spent_fraction_ = 0.0;
+};
+
+}  // namespace mosaiq::sim

@@ -1,0 +1,69 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace mosaiq::sim {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  assert(std::has_single_bit(cfg.line_bytes));
+  assert(cfg.size_bytes % (cfg.line_bytes * cfg.assoc) == 0);
+  n_sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.assoc);
+  assert(std::has_single_bit(n_sets_));
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(cfg.line_bytes));
+  lines_.resize(std::size_t{n_sets_} * cfg.assoc);
+}
+
+Cache::AccessResult Cache::access(std::uint64_t addr, bool is_write) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t line_addr = addr >> line_shift_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr & (n_sets_ - 1));
+  const std::uint64_t tag = line_addr >> std::countr_zero(n_sets_);
+  Line* base = &lines_[std::size_t{set} * cfg_.assoc];
+
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      ++stats_.hits;
+      l.lru = tick_;
+      l.dirty = l.dirty || is_write;
+      return {true, false};
+    }
+    if (!l.valid) {
+      victim = &l;  // prefer an invalid way
+    } else if (victim->valid && l.lru < victim->lru) {
+      victim = &l;
+    }
+  }
+
+  ++stats_.misses;
+  const bool writeback = victim->valid && victim->dirty;
+  if (writeback) ++stats_.writebacks;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  victim->dirty = is_write;  // write-allocate
+  return {false, writeback};
+}
+
+bool Cache::probe(std::uint64_t addr) const {
+  const std::uint64_t line_addr = addr >> line_shift_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr & (n_sets_ - 1));
+  const std::uint64_t tag = line_addr >> std::countr_zero(n_sets_);
+  const Line* base = &lines_[std::size_t{set} * cfg_.assoc];
+  for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (Line& l : lines_) {
+    if (l.valid && l.dirty) ++stats_.writebacks;
+    l = Line{};
+  }
+}
+
+}  // namespace mosaiq::sim

@@ -1,0 +1,65 @@
+// Set-associative cache simulator (LRU replacement, write-back +
+// write-allocate), operating on simulated addresses at cache-line
+// granularity.  Used for the client I-/D-caches (Table 3) and the server
+// L1/L2 hierarchy (Table 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mosaiq::sim {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 8 * 1024;
+  std::uint32_t assoc = 4;
+  std::uint32_t line_bytes = 32;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  double hit_rate() const { return accesses == 0 ? 0.0 : double(hits) / double(accesses); }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  struct AccessResult {
+    bool hit = false;
+    bool writeback = false;  ///< a dirty line was evicted
+  };
+
+  /// One access to the line containing `addr`.
+  AccessResult access(std::uint64_t addr, bool is_write);
+
+  /// True when the line containing `addr` is resident (no state change).
+  bool probe(std::uint64_t addr) const;
+
+  const CacheConfig& config() const { return cfg_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Invalidate everything (dirty lines are counted as writebacks).
+  void flush();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig cfg_;
+  std::uint32_t n_sets_;
+  std::uint32_t line_shift_;
+  std::vector<Line> lines_;  // n_sets * assoc, set-major
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace mosaiq::sim

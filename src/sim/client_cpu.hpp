@@ -1,0 +1,75 @@
+// Mobile-client CPU model (SimplePower substitute; see DESIGN.md §2).
+//
+// Single-issue in-order 5-stage pipeline: each retired instruction costs
+// one cycle; loads/stores additionally access the D-cache and stall the
+// pipeline for mem_latency_cycles on a miss (plus a write-back).  The
+// instruction-fetch stream is synthesized over a small code footprint
+// that warms the I-cache and then hits (query kernels are tight loops);
+// per-event dynamic energies from EnergyTable are integrated into an
+// EnergyBreakdown.
+#pragma once
+
+#include <cstdint>
+
+#include "rtree/exec.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/energy.hpp"
+
+namespace mosaiq::sim {
+
+class ClientCpu final : public rtree::ExecHooks {
+ public:
+  explicit ClientCpu(const ClientConfig& cfg);
+
+  // --- ExecHooks ------------------------------------------------------
+  void instr(const rtree::InstrMix& mix) override;
+  void read(std::uint64_t addr, std::uint32_t bytes) override;
+  void write(std::uint64_t addr, std::uint32_t bytes) override;
+
+  // --- Waiting --------------------------------------------------------
+
+  /// Spends `seconds` of wall time blocked on the network, under the
+  /// given wait policy (see ClientConfig / Section 5.2 of the paper).
+  void wait_seconds(double seconds, WaitPolicy policy);
+
+  // --- Accounting -----------------------------------------------------
+
+  /// Busy cycles: instruction execution + memory stalls (excludes time
+  /// modeled via wait_seconds).
+  std::uint64_t busy_cycles() const { return cycles_; }
+
+  /// Busy time in seconds at the configured clock.
+  double busy_seconds() const { return static_cast<double>(cycles_) / cfg_.clock_hz(); }
+
+  std::uint64_t instructions() const { return instructions_; }
+  std::uint64_t stall_cycles() const { return stall_cycles_; }
+
+  const EnergyBreakdown& energy() const { return energy_; }
+  const CacheStats& icache_stats() const { return icache_.stats(); }
+  const CacheStats& dcache_stats() const { return dcache_.stats(); }
+  const ClientConfig& config() const { return cfg_; }
+  const EnergyTable& energy_table() const { return table_; }
+
+  /// Average active-power estimate (W) over busy cycles so far; feeds the
+  /// analytical model of Section 4.1.
+  double average_active_power_w() const;
+
+ private:
+  void fetch(std::uint64_t n);           ///< n instruction fetches through the I-cache
+  void dcache_line_access(std::uint64_t addr, bool is_write);
+
+  ClientConfig cfg_;
+  EnergyTable table_;
+  Cache icache_;
+  Cache dcache_;
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t stall_cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t fetch_pc_ = 0;  ///< synthetic PC offset within the code footprint
+  bool icache_warm_ = false;
+  EnergyBreakdown energy_;
+};
+
+}  // namespace mosaiq::sim

@@ -1,0 +1,97 @@
+#include "sim/server_cpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mosaiq::sim {
+
+ServerCpu::ServerCpu(const ServerConfig& cfg)
+    : cfg_(cfg), l1d_(cfg.l1d), l2_(cfg.l2), tlb_(cfg.tlb_entries) {
+  if (cfg.disk_backed) {
+    // Page-granular fully-associative-ish buffer cache (16-way LRU).
+    const std::uint32_t ways = 16;
+    std::uint64_t sz = cfg.buffer_cache_bytes;
+    // Round down to a power-of-two set count the Cache model accepts.
+    std::uint64_t sets = sz / (std::uint64_t{cfg.io_page_bytes} * ways);
+    std::uint64_t pow2 = 1;
+    while (pow2 * 2 <= sets) pow2 *= 2;
+    sets = std::max<std::uint64_t>(1, pow2);
+    buffer_cache_.emplace(CacheConfig{
+        static_cast<std::uint32_t>(sets * ways * cfg.io_page_bytes), ways,
+        cfg.io_page_bytes});
+  }
+}
+
+void ServerCpu::instr(const rtree::InstrMix& mix) { instructions_ += mix.total(); }
+
+bool ServerCpu::tlb_lookup(std::uint64_t addr) {
+  const std::uint64_t page = addr / cfg_.page_bytes;
+  ++tlb_tick_;
+  TlbEntry* victim = &tlb_[0];
+  for (TlbEntry& e : tlb_) {
+    if (e.page == page) {
+      e.lru = tlb_tick_;
+      return true;
+    }
+    if (e.lru < victim->lru) victim = &e;
+  }
+  ++tlb_misses_;
+  victim->page = page;
+  victim->lru = tlb_tick_;
+  return false;
+}
+
+void ServerCpu::mem_access(std::uint64_t addr, bool is_write) {
+  if (buffer_cache_) {
+    const auto r = buffer_cache_->access(addr, is_write);
+    if (!r.hit) {
+      ++bc_misses_;
+      const std::uint64_t page = addr / cfg_.io_page_bytes;
+      disk_seconds_ += (page == last_page_ + 1)
+                           ? cfg_.disk.sequential_page_s(cfg_.io_page_bytes)
+                           : cfg_.disk.random_page_s(cfg_.io_page_bytes);
+      last_page_ = page;
+    }
+  }
+  if (!tlb_lookup(addr)) stall_cycles_ += cfg_.tlb_miss_cycles;
+  const auto r1 = l1d_.access(addr, is_write);
+  if (r1.hit) return;
+  const auto r2 = l2_.access(addr, is_write);
+  if (r2.hit) {
+    stall_cycles_ += cfg_.l2_hit_cycles;
+  } else {
+    stall_cycles_ += cfg_.l2_hit_cycles + cfg_.mem_latency_cycles;
+  }
+}
+
+void ServerCpu::read(std::uint64_t addr, std::uint32_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t line = cfg_.l1d.line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + bytes - 1) / line;
+  const std::uint64_t words = (bytes + 3) / 4;
+  instructions_ += words;
+  mem_ops_ += words;
+  for (std::uint64_t l = first; l <= last; ++l) mem_access(l * line, false);
+}
+
+void ServerCpu::write(std::uint64_t addr, std::uint32_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t line = cfg_.l1d.line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + bytes - 1) / line;
+  const std::uint64_t words = (bytes + 3) / 4;
+  instructions_ += words;
+  mem_ops_ += words;
+  for (std::uint64_t l = first; l <= last; ++l) mem_access(l * line, true);
+}
+
+std::uint64_t ServerCpu::cycles() const {
+  const double issue_cycles =
+      static_cast<double>(instructions_) / static_cast<double>(cfg_.issue_width);
+  const double visible_stalls = stall_cycles_ * (1.0 - cfg_.stall_overlap);
+  const double disk_cycles = disk_seconds_ * cfg_.clock_hz();
+  return static_cast<std::uint64_t>(std::ceil(issue_cycles + visible_stalls + disk_cycles));
+}
+
+}  // namespace mosaiq::sim

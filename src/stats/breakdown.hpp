@@ -1,0 +1,65 @@
+// Result breakdowns, matching how the paper plots its figures: client
+// energy split into Processor / NIC-Tx / NIC-Rx / NIC-Idle (we keep
+// NIC-Sleep separate rather than folding it into idle), and latency
+// split into Processor / NIC-Tx / NIC-Rx cycles (plus the wait on the
+// server, reported separately).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/energy.hpp"
+
+namespace mosaiq::stats {
+
+struct CycleBreakdown {
+  std::uint64_t processor = 0;  ///< client busy cycles (compute + protocol)
+  std::uint64_t nic_tx = 0;     ///< client cycles while the NIC transmits
+  std::uint64_t nic_rx = 0;     ///< client cycles while the NIC receives
+  std::uint64_t wait = 0;       ///< client cycles waiting on the server
+
+  std::uint64_t total() const { return processor + nic_tx + nic_rx + wait; }
+
+  CycleBreakdown& operator+=(const CycleBreakdown& o) {
+    processor += o.processor;
+    nic_tx += o.nic_tx;
+    nic_rx += o.nic_rx;
+    wait += o.wait;
+    return *this;
+  }
+};
+
+struct EnergyProfile {
+  double processor_j = 0;  ///< datapath+clock+caches+buses+DRAM+CPU-idle
+  double nic_tx_j = 0;
+  double nic_rx_j = 0;
+  double nic_idle_j = 0;
+  double nic_sleep_j = 0;
+
+  double total_j() const {
+    return processor_j + nic_tx_j + nic_rx_j + nic_idle_j + nic_sleep_j;
+  }
+
+  EnergyProfile& operator+=(const EnergyProfile& o) {
+    processor_j += o.processor_j;
+    nic_tx_j += o.nic_tx_j;
+    nic_rx_j += o.nic_rx_j;
+    nic_idle_j += o.nic_idle_j;
+    nic_sleep_j += o.nic_sleep_j;
+    return *this;
+  }
+};
+
+/// Full outcome of executing a query (or a whole batch) under a scheme.
+struct Outcome {
+  CycleBreakdown cycles;            ///< in client clock cycles
+  EnergyProfile energy;             ///< client-side energy (Joules)
+  sim::EnergyBreakdown processor_detail;  ///< per-component split of processor_j
+  std::uint64_t server_cycles = 0;  ///< in server clock cycles
+  std::uint64_t bytes_tx = 0;       ///< client->server wire bytes
+  std::uint64_t bytes_rx = 0;       ///< server->client wire bytes
+  std::uint32_t round_trips = 0;
+  std::uint64_t answers = 0;        ///< result cardinality over the batch
+  double wall_seconds = 0;
+};
+
+}  // namespace mosaiq::stats

@@ -1,0 +1,61 @@
+// Minimal fork-join helper for embarrassingly parallel experiment
+// sweeps: every (scheme, bandwidth, ...) cell of a figure is an
+// independent simulation over shared *immutable* inputs (the Dataset),
+// so cells map cleanly onto a thread pool.  Results come back in input
+// order, keeping tables and golden outputs deterministic regardless of
+// scheduling.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mosaiq::stats {
+
+/// Number of workers to use: hardware concurrency, bounded by the job
+/// count (never zero).
+inline unsigned worker_count(std::size_t jobs) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned cap = hw == 0 ? 1 : hw;
+  return static_cast<unsigned>(std::min<std::size_t>(cap, std::max<std::size_t>(1, jobs)));
+}
+
+/// Runs fn(i) for i in [0, n) on a pool of threads and returns the
+/// results in index order.  fn must be safe to call concurrently for
+/// distinct i (shared inputs read-only).  Exceptions from workers are
+/// rethrown on the caller (first one wins).
+template <typename R>
+std::vector<R> parallel_map(std::size_t n, const std::function<R(std::size_t)>& fn) {
+  std::vector<R> results(n);
+  if (n == 0) return results;
+  const unsigned workers = worker_count(n);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          results[i] = fn(i);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+}  // namespace mosaiq::stats

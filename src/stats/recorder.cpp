@@ -1,0 +1,63 @@
+#include "stats/recorder.hpp"
+
+#include <ostream>
+
+namespace mosaiq::stats {
+
+void Recorder::record(const std::string& label, const Outcome& before, const Outcome& after) {
+  QueryRecord r;
+  r.index = static_cast<std::uint32_t>(records_.size());
+  r.label = label;
+  r.energy_j = after.energy.total_j() - before.energy.total_j();
+  r.nic_tx_j = after.energy.nic_tx_j - before.energy.nic_tx_j;
+  r.nic_rx_j = after.energy.nic_rx_j - before.energy.nic_rx_j;
+  r.cycles = after.cycles.total() - before.cycles.total();
+  r.bytes_tx = after.bytes_tx - before.bytes_tx;
+  r.bytes_rx = after.bytes_rx - before.bytes_rx;
+  r.answers = after.answers - before.answers;
+  r.wall_s = after.wall_seconds - before.wall_seconds;
+  records_.push_back(std::move(r));
+}
+
+void Recorder::write_csv(std::ostream& os) const {
+  os << "index,label,energy_j,nic_tx_j,nic_rx_j,cycles,bytes_tx,bytes_rx,answers,wall_s\n";
+  for (const QueryRecord& r : records_) {
+    os << r.index << ',' << r.label << ',' << r.energy_j << ',' << r.nic_tx_j << ','
+       << r.nic_rx_j << ',' << r.cycles << ',' << r.bytes_tx << ',' << r.bytes_rx << ','
+       << r.answers << ',' << r.wall_s << '\n';
+  }
+}
+
+QueryRecord Recorder::totals() const {
+  QueryRecord t;
+  t.label = "total";
+  for (const QueryRecord& r : records_) {
+    t.energy_j += r.energy_j;
+    t.nic_tx_j += r.nic_tx_j;
+    t.nic_rx_j += r.nic_rx_j;
+    t.cycles += r.cycles;
+    t.bytes_tx += r.bytes_tx;
+    t.bytes_rx += r.bytes_rx;
+    t.answers += r.answers;
+    t.wall_s += r.wall_s;
+  }
+  return t;
+}
+
+QueryRecord Recorder::mean() const {
+  QueryRecord m = totals();
+  m.label = "mean";
+  if (records_.empty()) return m;
+  const double n = static_cast<double>(records_.size());
+  m.energy_j /= n;
+  m.nic_tx_j /= n;
+  m.nic_rx_j /= n;
+  m.cycles = static_cast<std::uint64_t>(static_cast<double>(m.cycles) / n);
+  m.bytes_tx = static_cast<std::uint64_t>(static_cast<double>(m.bytes_tx) / n);
+  m.bytes_rx = static_cast<std::uint64_t>(static_cast<double>(m.bytes_rx) / n);
+  m.answers = static_cast<std::uint64_t>(static_cast<double>(m.answers) / n);
+  m.wall_s /= n;
+  return m;
+}
+
+}  // namespace mosaiq::stats

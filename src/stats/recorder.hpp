@@ -1,0 +1,50 @@
+// Per-query outcome recording: turns a stream of cumulative Outcome
+// snapshots into per-query deltas and emits them as CSV rows, so a run
+// can be analyzed offline (plotting, regression checks) without
+// re-simulating.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/breakdown.hpp"
+
+namespace mosaiq::stats {
+
+/// One recorded query: the delta between two cumulative snapshots.
+struct QueryRecord {
+  std::uint32_t index = 0;
+  std::string label;
+  double energy_j = 0;
+  double nic_tx_j = 0;
+  double nic_rx_j = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t answers = 0;
+  double wall_s = 0;
+};
+
+class Recorder {
+ public:
+  /// Call once before the query with the current cumulative outcome,
+  /// then once after with the new cumulative outcome.
+  void record(const std::string& label, const Outcome& before, const Outcome& after);
+
+  const std::vector<QueryRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+
+  /// CSV with a header row.
+  void write_csv(std::ostream& os) const;
+
+  /// Aggregate over the recorded queries.
+  QueryRecord totals() const;
+  QueryRecord mean() const;
+
+ private:
+  std::vector<QueryRecord> records_;
+};
+
+}  // namespace mosaiq::stats

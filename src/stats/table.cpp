@@ -1,0 +1,108 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mosaiq::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+  }
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << (c == 0 ? std::left : std::right) << cells[c];
+      os << (c == 0 ? std::right : std::right);
+    }
+    os << '\n';
+  };
+
+  line(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) line(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) os << (c ? "," : "") << cells[c];
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fmt_fixed(double v, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << v;
+  return ss.str();
+}
+
+std::string fmt_sci(double v, int digits) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(digits) << v;
+  return ss.str();
+}
+
+std::string fmt_joules(double j) { return fmt_fixed(j, 4); }
+
+std::string fmt_cycles(std::uint64_t c) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(3) << static_cast<double>(c);
+  return ss.str();
+}
+
+std::string fmt_bytes(std::uint64_t b) {
+  std::ostringstream ss;
+  if (b >= (1u << 20)) {
+    ss << std::fixed << std::setprecision(2) << static_cast<double>(b) / (1 << 20) << "MB";
+  } else if (b >= 1024) {
+    ss << std::fixed << std::setprecision(1) << static_cast<double>(b) / 1024 << "KB";
+  } else {
+    ss << b << "B";
+  }
+  return ss.str();
+}
+
+std::string fmt_pct(double frac) { return fmt_fixed(frac * 100.0, 1) + "%"; }
+
+std::vector<std::string> outcome_header() {
+  return {"config",        "E_proc(J)",  "E_nicTx(J)", "E_nicRx(J)", "E_nicIdle(J)",
+          "E_nicSleep(J)", "E_total(J)", "C_proc",     "C_nicTx",    "C_nicRx",
+          "C_wait",        "C_total",    "tx",         "rx",         "answers"};
+}
+
+std::vector<std::string> outcome_row(const std::string& label, const Outcome& o) {
+  return {label,
+          fmt_joules(o.energy.processor_j),
+          fmt_joules(o.energy.nic_tx_j),
+          fmt_joules(o.energy.nic_rx_j),
+          fmt_joules(o.energy.nic_idle_j),
+          fmt_joules(o.energy.nic_sleep_j),
+          fmt_joules(o.energy.total_j()),
+          fmt_cycles(o.cycles.processor),
+          fmt_cycles(o.cycles.nic_tx),
+          fmt_cycles(o.cycles.nic_rx),
+          fmt_cycles(o.cycles.wait),
+          fmt_cycles(o.cycles.total()),
+          fmt_bytes(o.bytes_tx),
+          fmt_bytes(o.bytes_rx),
+          std::to_string(o.answers)};
+}
+
+}  // namespace mosaiq::stats

@@ -1,0 +1,47 @@
+// Fixed-width console tables + CSV emission for the benchmark harnesses,
+// so every figure/table reproduction prints the same row structure the
+// paper plots.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/breakdown.hpp"
+
+namespace mosaiq::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Pretty-prints with column alignment.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated emission (same cells, no padding).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.234" style fixed formatting helpers.
+std::string fmt_fixed(double v, int digits = 3);
+std::string fmt_sci(double v, int digits = 3);
+std::string fmt_joules(double j);
+std::string fmt_cycles(std::uint64_t c);
+std::string fmt_bytes(std::uint64_t b);
+std::string fmt_pct(double frac);
+
+/// Standard figure row: energy profile + cycle profile for one scheme /
+/// bandwidth configuration.
+std::vector<std::string> outcome_row(const std::string& label, const Outcome& o);
+
+/// Header matching outcome_row.
+std::vector<std::string> outcome_header();
+
+}  // namespace mosaiq::stats

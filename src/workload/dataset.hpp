@@ -1,0 +1,79 @@
+// Synthetic TIGER-like road-network datasets.
+//
+// The paper uses two TIGER/Line extracts: PA (139,006 street segments of
+// four southern-Pennsylvania counties, ~10.06 MB) and NYC (38,778
+// segments of New York City + Union County NJ, ~7.09 MB in the original
+// including heavier attributes).  We generate deterministic synthetic
+// equivalents with matched cardinalities and a matched density profile:
+// a handful of dense urban cores (jittered Manhattan-style grids) over a
+// sparse rural background, with short, mostly axis-aligned segments.
+// See DESIGN.md §2 for the substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/segment.hpp"
+#include "rtree/packed_rtree.hpp"
+#include "rtree/segment_store.hpp"
+
+namespace mosaiq::workload {
+
+struct ClusterSpec {
+  geom::Point center;
+  double sigma = 0.05;   ///< spatial spread of the core
+  double weight = 1.0;   ///< share of the clustered segments
+};
+
+struct DatasetSpec {
+  std::string name = "synthetic";
+  std::uint32_t n_segments = 10000;
+  /// Fraction of segments placed in urban clusters (rest: uniform rural).
+  double cluster_fraction = 0.75;
+  std::vector<ClusterSpec> clusters;
+  /// Mean street-segment length as a fraction of the unit extent.
+  double mean_segment_len = 0.0015;
+  /// Fraction of segments that are axis-aligned (grid streets).
+  double grid_fraction = 0.8;
+  std::uint64_t seed = 1;
+};
+
+/// A generated dataset: Hilbert-sorted store + packed index, ready for
+/// query processing (the paper treats both as static, prepared offline).
+struct Dataset {
+  std::string name;
+  rtree::SegmentStore store;
+  rtree::PackedRTree tree;
+  geom::Rect extent;
+
+  std::uint64_t data_bytes() const { return store.bytes(); }
+  std::uint64_t index_bytes() const { return tree.bytes(); }
+};
+
+/// Generates segments only (un-sorted); building block for tests.
+std::vector<geom::Segment> generate_segments(const DatasetSpec& spec);
+
+/// Generates, Hilbert-sorts, and indexes a dataset.
+Dataset make_dataset(const DatasetSpec& spec);
+
+/// The paper's PA stand-in: 139,006 segments, four county cores.
+DatasetSpec pa_spec(std::uint32_t n_segments = 139006);
+
+/// The paper's NYC stand-in: 38,778 segments, one dominant dense metro
+/// core (higher clustering than PA, which lowers filter selectivity).
+DatasetSpec nyc_spec(std::uint32_t n_segments = 38778);
+
+/// Sensitivity baselines beyond the paper (bench/abl_dataset_shape):
+/// fully uniform road coverage (no clustering at all) ...
+DatasetSpec uniform_spec(std::uint32_t n_segments = 50000);
+
+/// ... and a highway-corridor geometry: nearly all segments strung in a
+/// narrow diagonal band (extreme 1-D clustering).
+DatasetSpec corridor_spec(std::uint32_t n_segments = 50000);
+
+inline Dataset make_pa(std::uint32_t n = 139006) { return make_dataset(pa_spec(n)); }
+inline Dataset make_nyc(std::uint32_t n = 38778) { return make_dataset(nyc_spec(n)); }
+
+}  // namespace mosaiq::workload

@@ -1,0 +1,117 @@
+#include "workload/dataset_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace mosaiq::workload {
+
+namespace {
+
+template <typename T>
+void put(std::ostream& out, T v) {
+  // Little-endian, byte by byte (portable across hosts).
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.put(static_cast<char>((static_cast<std::uint64_t>(v) >> (8 * i)) & 0xff));
+  }
+}
+
+void put_f64(std::ostream& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put(out, bits);
+}
+
+template <typename T>
+T take(std::istream& in) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    const int c = in.get();
+    if (c == EOF) throw std::runtime_error("dataset stream truncated");
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(c)) << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+double take_f64(std::istream& in) {
+  const std::uint64_t bits = take<std::uint64_t>(in);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& d, std::ostream& out) {
+  put(out, kDatasetMagic);
+  put(out, kDatasetVersion);
+  put(out, static_cast<std::uint32_t>(d.name.size()));
+  out.write(d.name.data(), static_cast<std::streamsize>(d.name.size()));
+  put(out, static_cast<std::uint64_t>(d.store.size()));
+  for (std::uint32_t i = 0; i < d.store.size(); ++i) {
+    const geom::Segment& s = d.store.segment(i);
+    put_f64(out, s.a.x);
+    put_f64(out, s.a.y);
+    put_f64(out, s.b.x);
+    put_f64(out, s.b.y);
+    put(out, d.store.id(i));
+  }
+  if (!out) throw std::runtime_error("dataset save failed (stream error)");
+}
+
+Dataset load_dataset(std::istream& in) {
+  if (take<std::uint32_t>(in) != kDatasetMagic) {
+    throw std::runtime_error("not a mosaiq dataset (bad magic)");
+  }
+  const std::uint32_t version = take<std::uint32_t>(in);
+  if (version != kDatasetVersion) {
+    throw std::runtime_error("unsupported dataset version " + std::to_string(version));
+  }
+  const std::uint32_t name_len = take<std::uint32_t>(in);
+  if (name_len > 4096) throw std::runtime_error("dataset name length implausible");
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  if (in.gcount() != static_cast<std::streamsize>(name_len)) {
+    throw std::runtime_error("dataset stream truncated");
+  }
+  const std::uint64_t n = take<std::uint64_t>(in);
+  if (n > (1ull << 28)) throw std::runtime_error("dataset record count implausible");
+
+  std::vector<geom::Segment> segs;
+  std::vector<std::uint32_t> ids;
+  segs.reserve(n);
+  ids.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    geom::Segment s;
+    s.a.x = take_f64(in);
+    s.a.y = take_f64(in);
+    s.b.x = take_f64(in);
+    s.b.y = take_f64(in);
+    segs.push_back(s);
+    ids.push_back(take<std::uint32_t>(in));
+  }
+
+  Dataset d;
+  d.name = std::move(name);
+  // Records were saved in store (Hilbert) order; keep it.
+  d.store = rtree::SegmentStore(std::move(segs), ids);
+  d.tree = rtree::PackedRTree::build(d.store, rtree::SortOrder::PreSorted);
+  d.extent = d.store.extent();
+  return d;
+}
+
+void save_dataset_file(const Dataset& d, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save_dataset(d, out);
+}
+
+Dataset load_dataset_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return load_dataset(in);
+}
+
+}  // namespace mosaiq::workload

@@ -1,0 +1,30 @@
+// Binary dataset persistence: save a generated (or TIGER-imported)
+// dataset once and reload it instantly, so CLI workflows and repeated
+// benchmark runs skip regeneration.  Format: magic + version + name +
+// record array (coords as f64, ids as u32); the index is rebuilt on
+// load (packed build is linear and deterministic).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/dataset.hpp"
+
+namespace mosaiq::workload {
+
+inline constexpr std::uint32_t kDatasetMagic = 0x4d4f5351;  // "MOSQ"
+inline constexpr std::uint32_t kDatasetVersion = 1;
+
+/// Writes the dataset's records to the stream.  Throws std::runtime_error
+/// on stream failure.
+void save_dataset(const Dataset& d, std::ostream& out);
+
+/// Reads a dataset back (and rebuilds its index).  Throws
+/// std::runtime_error on magic/version mismatch or truncation.
+Dataset load_dataset(std::istream& in);
+
+/// File-path conveniences.
+void save_dataset_file(const Dataset& d, const std::string& path);
+Dataset load_dataset_file(const std::string& path);
+
+}  // namespace mosaiq::workload

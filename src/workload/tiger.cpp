@@ -1,0 +1,165 @@
+#include "workload/tiger.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <sstream>
+
+namespace mosaiq::workload {
+
+namespace {
+
+// 0-based [start, length) column slices of the 228-column RT1 record.
+constexpr std::size_t kRecordWidth = 228;
+constexpr std::size_t kTlidStart = 5, kTlidLen = 10;
+constexpr std::size_t kFrLongStart = 190, kFrLongLen = 10;
+constexpr std::size_t kFrLatStart = 200, kFrLatLen = 9;
+constexpr std::size_t kToLongStart = 209, kToLongLen = 10;
+constexpr std::size_t kToLatStart = 219, kToLatLen = 9;
+
+/// Parses a right-justified, possibly sign-prefixed integer field.
+bool parse_int_field(const std::string& line, std::size_t start, std::size_t len,
+                     std::int64_t& out) {
+  if (line.size() < start + len) return false;
+  std::size_t b = start;
+  const std::size_t e = start + len;
+  while (b < e && line[b] == ' ') ++b;
+  if (b == e) return false;
+  const char* first = line.data() + b;
+  const char* last = line.data() + e;
+  // std::from_chars accepts '-' but not '+': normalize.
+  std::int64_t sign = 1;
+  if (*first == '+') {
+    ++first;
+    if (first == last) return false;
+  } else if (*first == '-') {
+    sign = -1;
+    ++first;
+    if (first == last) return false;
+  }
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || ptr != last) return false;
+  out = sign * v;
+  return true;
+}
+
+/// Fixed-point coordinate with 6 implied decimal places, in degrees.
+bool parse_coord_field(const std::string& line, std::size_t start, std::size_t len,
+                       double& out) {
+  std::int64_t raw = 0;
+  if (!parse_int_field(line, start, len, raw)) return false;
+  out = static_cast<double>(raw) / 1e6;
+  return true;
+}
+
+void put_right_justified(std::string& line, std::size_t start, std::size_t len,
+                         const std::string& value) {
+  const std::size_t pad = len - std::min(len, value.size());
+  for (std::size_t i = 0; i < value.size() && pad + i < len; ++i) {
+    line[start + pad + i] = value[i];
+  }
+}
+
+std::string fixed6(double degrees, std::size_t width) {
+  const auto raw = static_cast<std::int64_t>(std::llround(degrees * 1e6));
+  std::string s = std::to_string(std::abs(raw));
+  s.insert(s.begin(), raw < 0 ? '-' : '+');
+  if (s.size() > width) s = s.substr(s.size() - width);
+  return s;
+}
+
+}  // namespace
+
+bool parse_rt1_line(const std::string& line, TigerRecord& out) {
+  if (line.empty() || line[0] != '1') return false;
+  if (line.size() < kRecordWidth) return false;
+
+  std::int64_t tlid = 0;
+  double frlong = 0;
+  double frlat = 0;
+  double tolong = 0;
+  double tolat = 0;
+  if (!parse_int_field(line, kTlidStart, kTlidLen, tlid)) return false;
+  if (!parse_coord_field(line, kFrLongStart, kFrLongLen, frlong)) return false;
+  if (!parse_coord_field(line, kFrLatStart, kFrLatLen, frlat)) return false;
+  if (!parse_coord_field(line, kToLongStart, kToLongLen, tolong)) return false;
+  if (!parse_coord_field(line, kToLatStart, kToLatLen, tolat)) return false;
+  if (tlid < 0 || tlid > 0xffffffffll) return false;
+  if (std::abs(frlong) > 180 || std::abs(tolong) > 180 || std::abs(frlat) > 90 ||
+      std::abs(tolat) > 90) {
+    return false;
+  }
+
+  out.tlid = static_cast<std::uint32_t>(tlid);
+  out.seg = {{frlong, frlat}, {tolong, tolat}};
+  return true;
+}
+
+std::vector<TigerRecord> parse_rt1(std::istream& in, TigerParseStats* stats) {
+  TigerParseStats local;
+  std::vector<TigerRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    ++local.lines;
+    if (line[0] != '1') {
+      ++local.skipped_other_types;
+      continue;
+    }
+    TigerRecord rec;
+    if (parse_rt1_line(line, rec)) {
+      records.push_back(rec);
+      ++local.parsed;
+    } else {
+      ++local.rejected;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return records;
+}
+
+std::string format_rt1_line(const TigerRecord& rec) {
+  std::string line(kRecordWidth, ' ');
+  line[0] = '1';
+  put_right_justified(line, kTlidStart, kTlidLen, std::to_string(rec.tlid));
+  put_right_justified(line, kFrLongStart, kFrLongLen, fixed6(rec.seg.a.x, kFrLongLen));
+  put_right_justified(line, kFrLatStart, kFrLatLen, fixed6(rec.seg.a.y, kFrLatLen));
+  put_right_justified(line, kToLongStart, kToLongLen, fixed6(rec.seg.b.x, kToLongLen));
+  put_right_justified(line, kToLatStart, kToLatLen, fixed6(rec.seg.b.y, kToLatLen));
+  return line;
+}
+
+Dataset dataset_from_tiger(const std::vector<TigerRecord>& records, std::string name) {
+  geom::Rect bounds = geom::Rect::empty();
+  for (const TigerRecord& r : records) bounds.expand(r.seg.mbr());
+
+  // Normalize into the unit square, preserving aspect ratio (the
+  // simulator's workload generators assume a roughly square extent).
+  const double span = std::max({bounds.width(), bounds.height(), 1e-12});
+  std::vector<geom::Segment> segs;
+  std::vector<std::uint32_t> ids;
+  segs.reserve(records.size());
+  ids.reserve(records.size());
+  for (const TigerRecord& r : records) {
+    auto norm = [&](const geom::Point& p) -> geom::Point {
+      return {(p.x - bounds.lo.x) / span, (p.y - bounds.lo.y) / span};
+    };
+    segs.push_back({norm(r.seg.a), norm(r.seg.b)});
+    ids.push_back(r.tlid);
+  }
+  rtree::hilbert_sort(segs, ids);
+
+  Dataset d;
+  d.name = std::move(name);
+  d.store = rtree::SegmentStore(std::move(segs), ids);
+  d.tree = rtree::PackedRTree::build(d.store, rtree::SortOrder::PreSorted);
+  d.extent = d.store.extent();
+  return d;
+}
+
+}  // namespace mosaiq::workload

@@ -1,0 +1,59 @@
+// TIGER/Line Record Type 1 parser.
+//
+// The paper's datasets are TIGER/Line extracts (Marx, "The TIGER
+// System", 1986).  This reproduction ships synthetic stand-ins
+// (dataset.hpp) because the original 1990s extracts are not
+// redistributable here — but a downstream user with real TIGER/Line
+// files can load them directly: Record Type 1 ("complete chains")
+// carries one line segment per record with the start/end coordinates in
+// fixed-width columns.
+//
+// RT1 layout (1-based columns, per the Census Bureau record layout):
+//   1       record type, '1'
+//   6-15    TLID (permanent record id)
+//   191-200 FRLONG  start longitude, signed, 6 implied decimals
+//   201-209 FRLAT   start latitude,  signed, 6 implied decimals
+//   210-219 TOLONG  end longitude
+//   220-228 TOLAT   end latitude
+// Records are 228 data columns wide (plus line terminator).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/segment.hpp"
+#include "workload/dataset.hpp"
+
+namespace mosaiq::workload {
+
+struct TigerRecord {
+  std::uint32_t tlid = 0;
+  geom::Segment seg;  ///< in degrees (longitude = x, latitude = y)
+};
+
+struct TigerParseStats {
+  std::size_t lines = 0;
+  std::size_t parsed = 0;
+  std::size_t skipped_other_types = 0;  ///< RT2..RTZ records in mixed files
+  std::size_t rejected = 0;             ///< malformed RT1 lines
+};
+
+/// Parses one RT1 line; returns false (and does not touch `out`) when
+/// the line is not a well-formed Record Type 1.
+bool parse_rt1_line(const std::string& line, TigerRecord& out);
+
+/// Parses an RT1 stream; non-RT1 record types are counted and skipped.
+std::vector<TigerRecord> parse_rt1(std::istream& in, TigerParseStats* stats = nullptr);
+
+/// Formats a TigerRecord as an RT1 line (round-trip inverse of
+/// parse_rt1_line; used by tests and by the dataset exporter).
+std::string format_rt1_line(const TigerRecord& rec);
+
+/// Builds a ready-to-query Dataset from parsed TIGER records:
+/// coordinates normalized into the unit square (preserving aspect
+/// ratio), Hilbert-sorted, indexed.  Record ids keep the TLIDs.
+Dataset dataset_from_tiger(const std::vector<TigerRecord>& records, std::string name);
+
+}  // namespace mosaiq::workload

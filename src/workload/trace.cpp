@@ -1,0 +1,116 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mosaiq::workload {
+
+namespace {
+
+[[noreturn]] void bad_line(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("trace line " + std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+void save_trace(std::span<const rtree::Query> queries, std::ostream& out) {
+  out << "# mosaiq query trace v1 (" << queries.size() << " queries)\n";
+  out << std::setprecision(17);
+  for (const rtree::Query& q : queries) {
+    std::visit(
+        [&](const auto& v) {
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, rtree::PointQuery>) {
+            out << "P " << v.p.x << ' ' << v.p.y << '\n';
+          } else if constexpr (std::is_same_v<T, rtree::RangeQuery>) {
+            out << "W " << v.window.lo.x << ' ' << v.window.lo.y << ' ' << v.window.hi.x
+                << ' ' << v.window.hi.y << '\n';
+          } else if constexpr (std::is_same_v<T, rtree::NNQuery>) {
+            out << "N " << v.p.x << ' ' << v.p.y << '\n';
+          } else if constexpr (std::is_same_v<T, rtree::KnnQuery>) {
+            out << "K " << v.p.x << ' ' << v.p.y << ' ' << v.k << '\n';
+          } else {
+            out << "R " << v.waypoints.size();
+            for (const geom::Point& p : v.waypoints) out << ' ' << p.x << ' ' << p.y;
+            out << '\n';
+          }
+        },
+        q);
+  }
+  if (!out) throw std::runtime_error("trace save failed (stream error)");
+}
+
+std::vector<rtree::Query> load_trace(std::istream& in) {
+  std::vector<rtree::Query> queries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    switch (tag) {
+      case 'P': {
+        rtree::PointQuery q;
+        if (!(ls >> q.p.x >> q.p.y)) bad_line(line_no, "expected 'P x y'");
+        queries.emplace_back(q);
+        break;
+      }
+      case 'W': {
+        rtree::RangeQuery q;
+        if (!(ls >> q.window.lo.x >> q.window.lo.y >> q.window.hi.x >> q.window.hi.y)) {
+          bad_line(line_no, "expected 'W lox loy hix hiy'");
+        }
+        queries.emplace_back(q);
+        break;
+      }
+      case 'N': {
+        rtree::NNQuery q;
+        if (!(ls >> q.p.x >> q.p.y)) bad_line(line_no, "expected 'N x y'");
+        queries.emplace_back(q);
+        break;
+      }
+      case 'K': {
+        rtree::KnnQuery q;
+        if (!(ls >> q.p.x >> q.p.y >> q.k)) bad_line(line_no, "expected 'K x y k'");
+        queries.emplace_back(q);
+        break;
+      }
+      case 'R': {
+        rtree::RouteQuery q;
+        std::size_t n = 0;
+        if (!(ls >> n) || n < 2 || n > 100000) bad_line(line_no, "bad waypoint count");
+        q.waypoints.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!(ls >> q.waypoints[i].x >> q.waypoints[i].y)) {
+            bad_line(line_no, "truncated waypoint list");
+          }
+        }
+        queries.emplace_back(std::move(q));
+        break;
+      }
+      default:
+        bad_line(line_no, std::string("unknown tag '") + tag + "'");
+    }
+  }
+  return queries;
+}
+
+void save_trace_file(std::span<const rtree::Query> queries, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save_trace(queries, out);
+}
+
+std::vector<rtree::Query> load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return load_trace(in);
+}
+
+}  // namespace mosaiq::workload

@@ -1,0 +1,34 @@
+// Query-trace persistence: save a generated workload to a plain-text
+// trace and replay it later (CLI `--save-workload` / `--workload`), so
+// experiments can be pinned to an exact query sequence independent of
+// generator versions.
+//
+// Format: one query per line.
+//   P <x> <y>
+//   W <lox> <loy> <hix> <hiy>        (range Window)
+//   N <x> <y>
+//   K <x> <y> <k>
+//   R <n> <x1> <y1> ... <xn> <yn>    (Route)
+// Lines starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rtree/query.hpp"
+
+namespace mosaiq::workload {
+
+/// Writes the trace; throws std::runtime_error on stream failure.
+void save_trace(std::span<const rtree::Query> queries, std::ostream& out);
+
+/// Parses a trace; throws std::runtime_error on malformed lines (with
+/// the 1-based line number in the message).
+std::vector<rtree::Query> load_trace(std::istream& in);
+
+void save_trace_file(std::span<const rtree::Query> queries, const std::string& path);
+std::vector<rtree::Query> load_trace_file(const std::string& path);
+
+}  // namespace mosaiq::workload

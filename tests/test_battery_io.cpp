@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/battery.hpp"
+#include "workload/dataset_io.hpp"
+
+namespace mosaiq {
+namespace {
+
+TEST(Battery, RatedEnergy) {
+  sim::BatteryConfig cfg;  // 3.6 V x 1000 mAh
+  EXPECT_NEAR(cfg.rated_joules(), 12960.0, 1e-9);
+}
+
+TEST(Battery, PeukertDeratesHighDraw) {
+  sim::BatteryConfig cfg;
+  // At the nominal rate the usable energy is rated * usable_fraction.
+  EXPECT_NEAR(cfg.usable_joules(cfg.nominal_draw_w), cfg.rated_joules() * 0.9, 1e-6);
+  // Higher sustained draw yields less usable energy; lower yields more.
+  EXPECT_LT(cfg.usable_joules(3.0), cfg.usable_joules(0.5));
+  EXPECT_GT(cfg.usable_joules(0.05), cfg.usable_joules(0.5));
+  // An ideal battery (exponent 1) is rate-independent.
+  sim::BatteryConfig ideal = cfg;
+  ideal.peukert = 1.0;
+  EXPECT_NEAR(ideal.usable_joules(5.0), ideal.usable_joules(0.05), 1e-9);
+}
+
+TEST(Battery, RuntimeScalesInverselyWithDraw) {
+  sim::BatteryConfig cfg;
+  EXPECT_GT(cfg.runtime_s(0.1), 5.0 * cfg.runtime_s(1.0));  // superlinear via Peukert
+}
+
+TEST(Battery, ConsumeTracksCharge) {
+  sim::Battery b;
+  EXPECT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.remaining_fraction(), 1.0);
+  // Spend half the nominal-rate usable energy at the nominal rate.
+  const double half = b.config().usable_joules(0.5) / 2;
+  EXPECT_TRUE(b.consume(half, half / 0.5));
+  EXPECT_NEAR(b.remaining_fraction(), 0.5, 1e-9);
+  EXPECT_FALSE(b.consume(half * 1.1, half / 0.5));
+  EXPECT_TRUE(b.empty());
+  EXPECT_DOUBLE_EQ(b.remaining_fraction(), 0.0);
+}
+
+TEST(Battery, HighDrawDrainsFasterPerJoule) {
+  sim::Battery trickle;
+  sim::Battery burst;
+  const double joules = 1000.0;
+  trickle.consume(joules, joules / 0.1);  // 0.1 W
+  burst.consume(joules, joules / 3.0);    // 3 W (the NIC transmitter)
+  EXPECT_LT(burst.remaining_fraction(), trickle.remaining_fraction());
+}
+
+TEST(DatasetIo, RoundTripPreservesEverything) {
+  const workload::Dataset d = workload::make_pa(5000);
+  std::stringstream buf;
+  workload::save_dataset(d, buf);
+  const workload::Dataset back = workload::load_dataset(buf);
+
+  EXPECT_EQ(back.name, d.name);
+  ASSERT_EQ(back.store.size(), d.store.size());
+  for (std::uint32_t i = 0; i < d.store.size(); ++i) {
+    EXPECT_EQ(back.store.segment(i), d.store.segment(i));
+    EXPECT_EQ(back.store.id(i), d.store.id(i));
+  }
+  EXPECT_EQ(back.tree.node_count(), d.tree.node_count());
+  EXPECT_TRUE(back.tree.validate(back.store));
+
+  // Queries answer identically.
+  std::vector<std::uint32_t> a;
+  std::vector<std::uint32_t> b;
+  d.tree.filter_range({{0.2, 0.2}, {0.4, 0.4}}, rtree::null_hooks(), a);
+  back.tree.filter_range({{0.2, 0.2}, {0.4, 0.4}}, rtree::null_hooks(), b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DatasetIo, RejectsGarbage) {
+  {
+    std::stringstream buf("this is not a dataset");
+    EXPECT_THROW(workload::load_dataset(buf), std::runtime_error);
+  }
+  {
+    // Valid header, truncated body.
+    const workload::Dataset d = workload::make_pa(100);
+    std::stringstream buf;
+    workload::save_dataset(d, buf);
+    std::string bytes = buf.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream cut(bytes);
+    EXPECT_THROW(workload::load_dataset(cut), std::runtime_error);
+  }
+  {
+    // Bad version.
+    std::stringstream buf;
+    const workload::Dataset d = workload::make_pa(10);
+    workload::save_dataset(d, buf);
+    std::string bytes = buf.str();
+    bytes[4] = 99;  // version byte
+    std::stringstream bad(bytes);
+    EXPECT_THROW(workload::load_dataset(bad), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace mosaiq

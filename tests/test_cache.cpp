@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+#include "sim/energy.hpp"
+
+namespace mosaiq::sim {
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c({1024, 2, 32});
+  EXPECT_FALSE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x1000, false).hit);
+  EXPECT_TRUE(c.access(0x101f, false).hit);   // same line
+  EXPECT_FALSE(c.access(0x1020, false).hit);  // next line
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  // 2-way, 32 B lines, 2 sets (128 B total).  Addresses 0, 64, 128 all
+  // map to set 0.
+  Cache c({128, 2, 32});
+  c.access(0, false);
+  c.access(64, false);
+  c.access(0, false);    // 0 becomes MRU
+  c.access(128, false);  // evicts 64 (LRU)
+  EXPECT_TRUE(c.access(0, false).hit);
+  EXPECT_FALSE(c.access(64, false).hit);  // was evicted
+}
+
+TEST(Cache, WritebackOnDirtyEviction) {
+  Cache c({128, 1, 32});  // direct-mapped, 4 sets
+  c.access(0, true);      // dirty line in set 0
+  const auto r = c.access(128, false);  // conflicts, evicts dirty line
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  // Evicting a clean line does not write back.
+  const auto r2 = c.access(0, false);
+  EXPECT_FALSE(r2.hit);
+  EXPECT_FALSE(r2.writeback);
+}
+
+TEST(Cache, WriteAllocate) {
+  Cache c({1024, 4, 32});
+  EXPECT_FALSE(c.access(0x40, true).hit);
+  EXPECT_TRUE(c.access(0x40, false).hit);  // allocated by the write
+}
+
+TEST(Cache, ProbeDoesNotTouchState) {
+  Cache c({1024, 4, 32});
+  EXPECT_FALSE(c.probe(0x40));
+  c.access(0x40, false);
+  EXPECT_TRUE(c.probe(0x40));
+  EXPECT_EQ(c.stats().accesses, 1u);  // probe did not count
+}
+
+TEST(Cache, FlushCountsDirtyLines) {
+  Cache c({1024, 4, 32});
+  c.access(0x00, true);
+  c.access(0x20, true);
+  c.access(0x40, false);
+  c.flush();
+  EXPECT_EQ(c.stats().writebacks, 2u);
+  EXPECT_FALSE(c.probe(0x00));
+}
+
+TEST(Cache, FullyAssociativeSweep) {
+  // 8 lines fully associative (1 set): a 9-line loop thrashes with LRU
+  // (every access misses), an 8-line loop fits perfectly.
+  Cache c({256, 8, 32});
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < 8 * 32; a += 32) c.access(a, false);
+  }
+  EXPECT_EQ(c.stats().misses, 8u);  // only the cold pass
+
+  Cache c2({256, 8, 32});
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < 9 * 32; a += 32) c2.access(a, false);
+  }
+  EXPECT_EQ(c2.stats().hits, 0u);  // classic LRU pathological case
+}
+
+TEST(Cache, Table3ClientConfigsConstruct) {
+  // The paper's client caches must be constructible and behave sanely.
+  Cache icache({16 * 1024, 4, 32});
+  Cache dcache({8 * 1024, 4, 32});
+  for (std::uint64_t a = 0; a < 16 * 1024; a += 32) icache.access(a, false);
+  for (std::uint64_t a = 0; a < 16 * 1024; a += 32) icache.access(a, false);
+  EXPECT_DOUBLE_EQ(icache.stats().hit_rate(), 0.5);  // fits exactly: 2nd pass all hits
+  (void)dcache;
+}
+
+TEST(CactiLite, MonotoneInSize) {
+  const double e8k = cacti_lite_nj({8 * 1024, 4, 32});
+  const double e16k = cacti_lite_nj({16 * 1024, 4, 32});
+  const double e1m = cacti_lite_nj({1024 * 1024, 2, 128});
+  EXPECT_GT(e16k, e8k);
+  EXPECT_GT(e1m, e16k);
+  // Calibration window: L1-class arrays are a fraction of a nanojoule.
+  EXPECT_GT(e8k, 0.05);
+  EXPECT_LT(e16k, 1.0);
+}
+
+struct SweepParam {
+  std::uint32_t size;
+  std::uint32_t assoc;
+  std::uint32_t line;
+};
+
+class CacheSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CacheSweep, SequentialStreamMissesOncePerLine) {
+  const auto p = GetParam();
+  Cache c({p.size, p.assoc, p.line});
+  const std::uint64_t lines = 3ull * p.size / p.line;  // 3x capacity stream
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    for (std::uint32_t b = 0; b < p.line; b += 4) {
+      c.access(i * p.line + b, false);
+    }
+  }
+  // Streaming has no reuse: exactly one miss per line regardless of
+  // geometry, everything else hits within the line.
+  EXPECT_EQ(c.stats().misses, lines);
+  EXPECT_EQ(c.stats().accesses, lines * (p.line / 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheSweep,
+                         ::testing::Values(SweepParam{8 * 1024, 4, 32},
+                                           SweepParam{16 * 1024, 4, 32},
+                                           SweepParam{32 * 1024, 2, 64},
+                                           SweepParam{1024 * 1024, 2, 128},
+                                           SweepParam{1024, 1, 32},
+                                           SweepParam{256, 8, 32}));
+
+}  // namespace
+}  // namespace mosaiq::sim

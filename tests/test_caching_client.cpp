@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/caching_client.hpp"
+#include "core/session.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::core {
+namespace {
+
+const workload::Dataset& data() {
+  static workload::Dataset d = workload::make_pa(20000);
+  return d;
+}
+
+SessionConfig base_config() {
+  SessionConfig cfg;
+  cfg.channel = {4.0, 1000.0};
+  cfg.client = sim::client_at_ratio(1.0 / 8.0);
+  return cfg;
+}
+
+TEST(CachingClient, FirstQueryFetches) {
+  CachingClient c(data(), base_config(), {1u << 20, rtree::ShipPolicy::HilbertRange});
+  workload::QueryGen gen(data(), 1);
+  c.run_query(gen.range_query());
+  EXPECT_EQ(c.fetches(), 1u);
+  EXPECT_EQ(c.local_hits(), 0u);
+  EXPECT_GT(c.cached_bytes(), 0u);
+  EXPECT_LE(c.cached_bytes(), 1u << 20);
+  EXPECT_FALSE(c.safe_rect().is_empty());
+}
+
+TEST(CachingClient, ProximateFollowUpsRunLocally) {
+  CachingClient c(data(), base_config(), {1u << 20, rtree::ShipPolicy::HilbertRange});
+  workload::QueryGen gen(data(), 2);
+  const rtree::RangeQuery anchor = gen.range_query();
+  c.run_query(anchor);
+  const stats::Outcome after_fetch = c.outcome();
+  const geom::Point center = anchor.window.center();
+  for (int i = 0; i < 10; ++i) {
+    c.run_query(gen.range_query_near(center, 0.002, 1e-5, 1e-4));
+  }
+  EXPECT_EQ(c.fetches(), 1u);
+  EXPECT_EQ(c.local_hits(), 10u);
+  // Local queries added no wire traffic.
+  EXPECT_EQ(c.outcome().bytes_tx, after_fetch.bytes_tx);
+  EXPECT_EQ(c.outcome().bytes_rx, after_fetch.bytes_rx);
+}
+
+TEST(CachingClient, FarQueryDiscardsAndRefetches) {
+  CachingClient c(data(), base_config(), {512u << 10, rtree::ShipPolicy::HilbertRange});
+  c.run_query({geom::Rect{{0.1, 0.1}, {0.12, 0.12}}});
+  EXPECT_EQ(c.fetches(), 1u);
+  c.run_query({geom::Rect{{0.85, 0.85}, {0.87, 0.87}}});  // far away
+  EXPECT_EQ(c.fetches(), 2u);
+  EXPECT_EQ(c.local_hits(), 0u);
+}
+
+class CachingPolicy : public ::testing::TestWithParam<rtree::ShipPolicy> {};
+
+TEST_P(CachingPolicy, AnswersMatchFullyAtServer) {
+  // Correctness across cache hits, misses, and refetches.
+  const auto bursts = workload::make_proximity_workload(data(), 3, 8, 0.004, 5, 1e-5, 1e-4);
+
+  CachingClient c(data(), base_config(), {1u << 20, GetParam()});
+  SessionConfig ref_cfg = base_config();
+  ref_cfg.scheme = Scheme::FullyAtServer;
+  Session ref(data(), ref_cfg);
+
+  for (const auto& burst : bursts) {
+    for (const auto& q : burst.queries) {
+      c.run_query(q);
+      ref.run_query(rtree::Query{q});
+    }
+  }
+  EXPECT_EQ(c.outcome().answers, ref.outcome().answers);
+  EXPECT_GT(c.local_hits(), 0u);
+}
+
+TEST_P(CachingPolicy, CachedBytesNeverExceedBudget) {
+  for (const std::uint64_t budget : {512u << 10, 1u << 20, 2u << 20}) {
+    CachingClient c(data(), base_config(), {budget, GetParam()});
+    workload::QueryGen gen(data(), 7);
+    for (int i = 0; i < 5; ++i) c.run_query(gen.range_query());
+    EXPECT_LE(c.cached_bytes(), budget);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CachingPolicy,
+                         ::testing::Values(rtree::ShipPolicy::WindowExpand,
+                                           rtree::ShipPolicy::HilbertRange));
+
+TEST(CachingClient, BiggerBudgetBiggerTransfer) {
+  workload::QueryGen gen(data(), 9);
+  const rtree::RangeQuery q = gen.range_query();
+  CachingClient small(data(), base_config(), {512u << 10, rtree::ShipPolicy::HilbertRange});
+  CachingClient big(data(), base_config(), {2u << 20, rtree::ShipPolicy::HilbertRange});
+  small.run_query(q);
+  big.run_query(q);
+  EXPECT_GT(big.outcome().bytes_rx, small.outcome().bytes_rx);
+  EXPECT_GT(big.cached_bytes(), small.cached_bytes());
+}
+
+TEST(CachingClient, ProximityAmortizesFetchEnergy) {
+  // The Figure 10 mechanism: with more proximate follow-ups per burst,
+  // the per-query energy drops (fetch cost amortized).
+  auto avg_energy = [&](std::uint32_t proximity) {
+    const auto bursts =
+        workload::make_proximity_workload(data(), 2, proximity, 0.003, 21, 1e-5, 1e-4);
+    CachingClient c(data(), base_config(), {1u << 20, rtree::ShipPolicy::HilbertRange});
+    std::size_t n = 0;
+    for (const auto& b : bursts) {
+      for (const auto& q : b.queries) {
+        c.run_query(q);
+        ++n;
+      }
+    }
+    return c.outcome().energy.total_j() / static_cast<double>(n);
+  };
+  const double sparse = avg_energy(2);
+  const double dense = avg_energy(40);
+  EXPECT_LT(dense, sparse * 0.5);
+}
+
+}  // namespace
+}  // namespace mosaiq::core

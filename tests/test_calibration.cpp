@@ -1,0 +1,85 @@
+// Calibration tripwire: loose absolute bands around the headline
+// full-scale numbers recorded in EXPERIMENTS.md.  Everything in this
+// repository is deterministic, so these only move when the model moves
+// — if one fires, re-run every fig* bench and update EXPERIMENTS.md
+// (see CONTRIBUTING.md).  Bands are ±35% so refactors that reorder
+// arithmetic stay green while real calibration drift trips.
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::core {
+namespace {
+
+const workload::Dataset& pa() {
+  static workload::Dataset d = workload::make_pa();  // full 139,006
+  return d;
+}
+
+SessionConfig config(Scheme s, double mbps, bool at_client = true) {
+  SessionConfig cfg;
+  cfg.scheme = s;
+  cfg.placement.data_at_client = at_client;
+  cfg.channel = {mbps, 1000.0};
+  cfg.client = sim::client_at_ratio(1.0 / 8.0);
+  return cfg;
+}
+
+void expect_band(double value, double nominal, const char* what) {
+  EXPECT_GT(value, nominal * 0.65) << what;
+  EXPECT_LT(value, nominal * 1.35) << what;
+}
+
+TEST(Calibration, DatasetFootprints) {
+  expect_band(static_cast<double>(pa().data_bytes()), 10.08e6 * 1.048, "PA data bytes");
+  expect_band(static_cast<double>(pa().index_bytes()), 2.83e6 * 1.048, "PA index bytes");
+}
+
+TEST(Calibration, Figure5HeadlineNumbers) {
+  workload::QueryGen gen(pa(), 505);  // the committed Figure-5 seed
+  const auto queries = gen.batch(rtree::QueryKind::Range, 100);
+
+  const stats::Outcome local = Session::run_batch(pa(), config(Scheme::FullyAtClient, 2.0),
+                                                  queries);
+  expect_band(local.energy.total_j(), 0.207, "fully-at-client E (J)");
+  expect_band(static_cast<double>(local.cycles.total()), 2.82e8, "fully-at-client C");
+  expect_band(static_cast<double>(local.answers), 85918, "answers per 100 ranges");
+
+  const stats::Outcome srv2 = Session::run_batch(pa(), config(Scheme::FullyAtServer, 2.0),
+                                                 queries);
+  expect_band(srv2.energy.total_j(), 0.614, "fully-at-server[data@c] E @2Mbps");
+  expect_band(static_cast<double>(srv2.cycles.total()), 2.11e8,
+              "fully-at-server[data@c] C @2Mbps");
+
+  // The paper's crossover structure (hard assertions, not bands).
+  EXPECT_LT(srv2.cycles.total(), local.cycles.total());   // cycles win at 2 Mbps
+  EXPECT_GT(srv2.energy.total_j(), local.energy.total_j());  // energy not yet
+  const stats::Outcome srv8 = Session::run_batch(pa(), config(Scheme::FullyAtServer, 8.0),
+                                                 queries);
+  EXPECT_LT(srv8.energy.total_j(), local.energy.total_j());  // energy win by 8 Mbps
+}
+
+TEST(Calibration, ClientPowerOperatingPoint) {
+  // The whole energy balance rests on the client CPU drawing well below
+  // the NIC idle power; the committed point is ~70 mW at 125 MHz.
+  workload::QueryGen gen(pa(), 505);
+  const auto queries = gen.batch(rtree::QueryKind::Range, 20);
+  Session s(pa(), config(Scheme::FullyAtClient, 2.0));
+  for (const auto& q : queries) s.run_query(q);
+  expect_band(s.client_cpu().average_active_power_w(), 0.070, "client active W");
+}
+
+TEST(Calibration, PointQueriesStayNearFree) {
+  workload::QueryGen gen(pa(), 404);  // the committed Figure-4 seed
+  const auto queries = gen.batch(rtree::QueryKind::Point, 100);
+  const stats::Outcome local = Session::run_batch(pa(), config(Scheme::FullyAtClient, 2.0),
+                                                  queries);
+  expect_band(local.energy.total_j(), 0.0019, "point fully-at-client E");
+  const stats::Outcome srv = Session::run_batch(pa(), config(Scheme::FullyAtServer, 11.0),
+                                                queries);
+  EXPECT_GT(srv.energy.total_j(), 10.0 * local.energy.total_j());
+}
+
+}  // namespace
+}  // namespace mosaiq::core

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "net/channel_model.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::net {
+namespace {
+
+TEST(ChannelModel, PerfectChannel) {
+  EXPECT_DOUBLE_EQ(frame_success_probability(0.0, 1500), 1.0);
+  EXPECT_DOUBLE_EQ(expected_transmissions(0.0, 1500), 1.0);
+  // Effective bandwidth = raw * payload fraction.
+  const ErrorChannelConfig ch{11.0, 0.0};
+  EXPECT_NEAR(effective_bandwidth_mbps(ch), 11.0 * 1460.0 / 1500.0, 1e-9);
+}
+
+TEST(ChannelModel, SuccessProbabilityFallsWithBerAndSize) {
+  EXPECT_GT(frame_success_probability(1e-5, 100), frame_success_probability(1e-5, 1500));
+  EXPECT_GT(frame_success_probability(1e-6, 1500), frame_success_probability(1e-5, 1500));
+  // ~1e-4 BER kills 1500 B frames: (1-1e-4)^12000 ~ e^-1.2.
+  EXPECT_NEAR(frame_success_probability(1e-4, 1500), std::exp(-1.2), 0.02);
+}
+
+TEST(ChannelModel, EffectiveBandwidthMonotoneInBer) {
+  double prev = 1e9;
+  for (const double ber : {0.0, 1e-6, 1e-5, 1e-4, 1e-3}) {
+    const double bw = effective_bandwidth_mbps({11.0, ber});
+    EXPECT_LT(bw, prev + 1e-12);
+    prev = bw;
+  }
+  // The paper's 2-11 Mbps sweep corresponds to BERs in the 1e-4 regime
+  // at an 11 Mbps raw rate.
+  const double bw = effective_bandwidth_mbps({11.0, 1.45e-4});
+  EXPECT_GT(bw, 1.5);
+  EXPECT_LT(bw, 2.5);
+}
+
+TEST(ChannelModel, OptimalMtuShrinksWithBer) {
+  const std::uint32_t clean = best_mtu_bytes({11.0, 1e-7});
+  const std::uint32_t noisy = best_mtu_bytes({11.0, 1e-4});
+  const std::uint32_t awful = best_mtu_bytes({11.0, 1e-3});
+  EXPECT_GT(clean, noisy);
+  EXPECT_GT(noisy, awful);
+  EXPECT_GE(awful, 72u);  // never below header + minimum payload
+}
+
+TEST(ChannelModel, FeedsTheSimulatorAsEffectiveBandwidth) {
+  // End-to-end: the error model's output plugs into Session as B, which
+  // is precisely how the paper treats channel quality.
+  static workload::Dataset d = workload::make_pa(15000);
+  workload::QueryGen gen(d, 21);
+  const auto queries = gen.batch(rtree::QueryKind::Range, 10);
+
+  auto run = [&](double ber) {
+    core::SessionConfig cfg;
+    cfg.scheme = core::Scheme::FullyAtServer;
+    cfg.channel = {effective_bandwidth_mbps({11.0, ber}), 1000.0};
+    cfg.client = sim::client_at_ratio(1.0 / 8.0);
+    return core::Session::run_batch(d, cfg, queries);
+  };
+  const auto clean = run(0.0);
+  const auto noisy = run(2e-4);
+  EXPECT_GT(noisy.energy.nic_rx_j, 1.5 * clean.energy.nic_rx_j);
+  EXPECT_GT(noisy.cycles.total(), clean.cycles.total());
+  EXPECT_EQ(noisy.answers, clean.answers);
+}
+
+}  // namespace
+}  // namespace mosaiq::net

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "sim/dvfs.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::sim {
+namespace {
+
+TEST(Dvfs, EnergyScaleIsVoltageSquared) {
+  EXPECT_DOUBLE_EQ((OperatingPoint{125.0, 3.3}).energy_scale(), 1.0);
+  EXPECT_NEAR((OperatingPoint{62.5, 1.65}).energy_scale(), 0.25, 1e-12);
+}
+
+TEST(Dvfs, LadderIsMonotone) {
+  const auto ladder = default_opp_ladder();
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].clock_mhz, ladder[i - 1].clock_mhz);
+    EXPECT_GT(ladder[i].supply_v, ladder[i - 1].supply_v);
+  }
+  EXPECT_DOUBLE_EQ(ladder.back().clock_mhz, 125.0);  // Table-3 nominal on top
+  EXPECT_DOUBLE_EQ(ladder.back().supply_v, 3.3);
+}
+
+TEST(Dvfs, ClientAtOppScalesEverything) {
+  const OperatingPoint low{62.5, 2.10};
+  const ClientConfig cfg = client_at_opp(low);
+  EXPECT_DOUBLE_EQ(cfg.clock_mhz, 62.5);
+  EXPECT_NEAR(cfg.energy_scale, (2.10 / 3.3) * (2.10 / 3.3), 1e-12);
+  EXPECT_LT(cfg.blocked_wait_w, ClientConfig{}.blocked_wait_w);
+  EXPECT_LT(cfg.lowpower_wait_w, ClientConfig{}.lowpower_wait_w);
+}
+
+TEST(Dvfs, SameWorkCheaperSlower) {
+  // Identical instruction stream: cycles equal, energy scales with V²,
+  // time scales with 1/f.
+  const ClientConfig fast = client_at_opp({125.0, 3.3});
+  const ClientConfig slow = client_at_opp({62.5, 2.10});
+  ClientCpu a{fast};
+  ClientCpu b{slow};
+  for (int i = 0; i < 100; ++i) {
+    const rtree::InstrMix mix{1000, 100, 200};
+    a.instr(mix);
+    b.instr(mix);
+    a.read(rtree::simaddr::kDataBase + i * 64, 32);
+    b.read(rtree::simaddr::kDataBase + i * 64, 32);
+  }
+  EXPECT_EQ(a.busy_cycles(), b.busy_cycles());
+  EXPECT_NEAR(b.busy_seconds(), 2.0 * a.busy_seconds(), 1e-12);
+  EXPECT_NEAR(b.energy().total_j() / a.energy().total_j(),
+              (2.10 / 3.3) * (2.10 / 3.3), 1e-9);
+}
+
+TEST(Dvfs, DeadlinePickerChoosesLowestFeasibleEnergy) {
+  const auto ladder = default_opp_ladder();
+  const double cycles = 10e6;  // 10 M cycles of work
+  // Loose deadline: the slowest (cheapest) point wins.
+  const OperatingPoint loose = pick_opp_for_deadline(ladder, cycles, 10.0);
+  EXPECT_DOUBLE_EQ(loose.clock_mhz, 31.25);
+  // 10M cycles at 62.5 MHz = 160 ms; at 31.25 MHz = 320 ms.
+  const OperatingPoint mid = pick_opp_for_deadline(ladder, cycles, 0.2);
+  EXPECT_DOUBLE_EQ(mid.clock_mhz, 62.5);
+  // Impossible deadline: fall back to the fastest point.
+  const OperatingPoint tight = pick_opp_for_deadline(ladder, cycles, 1e-6);
+  EXPECT_DOUBLE_EQ(tight.clock_mhz, 125.0);
+}
+
+TEST(Dvfs, FullyAtClientSessionEnergyFallsWithVoltage) {
+  const workload::Dataset d = workload::make_pa(15000);
+  workload::QueryGen gen(d, 4);
+  const auto queries = gen.batch(rtree::QueryKind::Range, 10);
+
+  double prev_energy = 0;
+  double prev_wall = std::numeric_limits<double>::infinity();
+  for (const OperatingPoint& opp : default_opp_ladder()) {
+    core::SessionConfig cfg;
+    cfg.client = client_at_opp(opp);
+    const stats::Outcome o = core::Session::run_batch(d, cfg, queries);
+    // Walking the ladder upward (slow/low-V -> fast/high-V): each point
+    // costs more processor energy (V² dominates) and less wall time.
+    EXPECT_GT(o.energy.processor_j, prev_energy);
+    EXPECT_LT(o.wall_seconds, prev_wall);
+    prev_energy = o.energy.processor_j;
+    prev_wall = o.wall_seconds;
+  }
+}
+
+}  // namespace
+}  // namespace mosaiq::sim

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "geom/predicates.hpp"
+#include "rtree/dynamic_rtree.hpp"
+#include "rtree/packed_rtree.hpp"
+
+namespace mosaiq::rtree {
+namespace {
+
+std::vector<geom::Segment> random_segments(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_real_distribution<double> len(-0.01, 0.01);
+  std::vector<geom::Segment> segs;
+  segs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Point a{u(rng), u(rng)};
+    segs.push_back({a, {a.x + len(rng), a.y + len(rng)}});
+  }
+  return segs;
+}
+
+TEST(DynamicRTree, EmptyTree) {
+  DynamicRTree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.validate());
+  std::vector<std::uint32_t> out;
+  t.filter_range({{0, 0}, {1, 1}}, null_hooks(), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DynamicRTree, InsertGrowsAndValidates) {
+  SegmentStore store(random_segments(500, 5));
+  DynamicRTree t;
+  for (std::uint32_t i = 0; i < store.size(); ++i) {
+    t.insert(i, store.segment(i).mbr());
+    if (i % 97 == 0) {
+      ASSERT_TRUE(t.validate()) << "after insert " << i;
+    }
+  }
+  EXPECT_EQ(t.size(), 500u);
+  EXPECT_TRUE(t.validate());
+  EXPECT_GE(t.height(), 2u);
+}
+
+TEST(DynamicRTree, RootSplitKeepsAllRecords) {
+  // Exactly capacity+1 inserts forces the first root split.
+  SegmentStore store(random_segments(kNodeCapacity + 1, 6));
+  DynamicRTree t = DynamicRTree::build(store);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.height(), 2u);
+  std::vector<std::uint32_t> out;
+  t.filter_range({{-1, -1}, {2, 2}}, null_hooks(), out);
+  EXPECT_EQ(out.size(), kNodeCapacity + 1);
+}
+
+class DynamicVsPacked : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicVsPacked, IdenticalAnswers) {
+  SegmentStore store(random_segments(2000, GetParam()));
+  const PackedRTree packed = PackedRTree::build(store, SortOrder::Hilbert);
+  const DynamicRTree dynamic = DynamicRTree::build(store);
+  ASSERT_TRUE(dynamic.validate());
+
+  std::mt19937_64 rng(GetParam() * 131);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int k = 0; k < 25; ++k) {
+    const geom::Point c{u(rng), u(rng)};
+    const geom::Rect w{{c.x - 0.04, c.y - 0.04}, {c.x + 0.04, c.y + 0.04}};
+
+    std::vector<std::uint32_t> a;
+    std::vector<std::uint32_t> b;
+    packed.filter_range(w, null_hooks(), a);
+    dynamic.filter_range(w, null_hooks(), b);
+    std::vector<std::uint32_t> ra;
+    std::vector<std::uint32_t> rb;
+    refine_range(store, w, a, null_hooks(), ra);
+    refine_range(store, w, b, null_hooks(), rb);
+    std::sort(ra.begin(), ra.end());
+    std::sort(rb.begin(), rb.end());
+    EXPECT_EQ(ra, rb);
+
+    const geom::Point p = store.segment(static_cast<std::uint32_t>((k * 37) % store.size())).b;
+    a.clear();
+    b.clear();
+    packed.filter_point(p, null_hooks(), a);
+    dynamic.filter_point(p, null_hooks(), b);
+    ra.clear();
+    rb.clear();
+    refine_point(store, p, a, null_hooks(), ra);
+    refine_point(store, p, b, null_hooks(), rb);
+    std::sort(ra.begin(), ra.end());
+    std::sort(rb.begin(), rb.end());
+    EXPECT_EQ(ra, rb);
+
+    const geom::Point q{u(rng), u(rng)};
+    const auto np = packed.nearest(q, store, null_hooks());
+    const auto nd = dynamic.nearest(q, store, null_hooks());
+    ASSERT_TRUE(np.has_value());
+    ASSERT_TRUE(nd.has_value());
+    EXPECT_NEAR(np->dist, nd->dist, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicVsPacked, ::testing::Values(1u, 2u, 3u));
+
+TEST(DynamicRTree, PackedIsSmallerAndShallower) {
+  // Bulk loading packs nodes full; dynamic insertion leaves slack, so
+  // the packed tree never uses more nodes.
+  SegmentStore store(random_segments(5000, 77));
+  const PackedRTree packed = PackedRTree::build(store, SortOrder::Hilbert);
+  const DynamicRTree dynamic = DynamicRTree::build(store);
+  EXPECT_LT(packed.node_count(), dynamic.node_count());
+  EXPECT_LE(packed.height(), dynamic.height());
+}
+
+}  // namespace
+}  // namespace mosaiq::rtree

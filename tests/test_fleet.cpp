@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/fleet.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::core {
+namespace {
+
+const workload::Dataset& data() {
+  static workload::Dataset d = workload::make_pa(20000);
+  return d;
+}
+
+SessionConfig base_config(Scheme s, double mbps = 4.0) {
+  SessionConfig cfg;
+  cfg.scheme = s;
+  cfg.channel = {mbps, 1000.0};
+  cfg.client = sim::client_at_ratio(1.0 / 8.0);
+  return cfg;
+}
+
+FleetConfig fleet_of(std::uint32_t k, std::uint32_t queries = 10) {
+  FleetConfig f;
+  f.clients = k;
+  f.queries_per_client = queries;
+  f.think_time_s = 0.5;
+  return f;
+}
+
+TEST(Fleet, SingleClientSanity) {
+  const FleetOutcome o = run_fleet(data(), base_config(Scheme::FullyAtServer), fleet_of(1));
+  EXPECT_GT(o.answers, 0u);
+  EXPECT_GT(o.mean_latency_s, 0.0);
+  EXPECT_GE(o.p95_latency_s, o.mean_latency_s);
+  EXPECT_GT(o.mean_client_energy_j, 0.0);
+  EXPECT_LE(o.medium_utilization, 1.0 + 1e-9);
+  EXPECT_LE(o.server_utilization, 1.0 + 1e-9);
+  // With one client and generous think time nothing saturates.
+  EXPECT_LT(o.medium_utilization, 0.9);
+}
+
+TEST(Fleet, AnswersScaleWithClients) {
+  const FleetOutcome one = run_fleet(data(), base_config(Scheme::FullyAtServer), fleet_of(1));
+  const FleetOutcome four = run_fleet(data(), base_config(Scheme::FullyAtServer), fleet_of(4));
+  // Different per-client seeds, same cardinality of queries each.
+  EXPECT_GT(four.answers, one.answers);
+}
+
+TEST(Fleet, FullyAtClientIsContentionFree) {
+  const FleetOutcome one = run_fleet(data(), base_config(Scheme::FullyAtClient), fleet_of(1));
+  const FleetOutcome many =
+      run_fleet(data(), base_config(Scheme::FullyAtClient), fleet_of(16));
+  EXPECT_DOUBLE_EQ(many.medium_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(many.server_utilization, 0.0);
+  // Latency does not degrade with fleet size (no shared resources).
+  EXPECT_NEAR(many.mean_latency_s, one.mean_latency_s, 0.35 * one.mean_latency_s);
+}
+
+SessionConfig saturating_config() {
+  // Record-carrying responses on a slow channel: tens of ms of airtime
+  // per query, so a zero-think fleet actually contends.
+  SessionConfig cfg = base_config(Scheme::FullyAtServer, 2.0);
+  cfg.placement.data_at_client = false;
+  return cfg;
+}
+
+FleetConfig saturating_fleet(std::uint32_t k) {
+  FleetConfig f = fleet_of(k, 8);
+  f.think_time_s = 0.0;
+  return f;
+}
+
+TEST(Fleet, ContentionInflatesOffloadedLatency) {
+  // 16 clients queueing on one medium must wait far longer per query
+  // than a lone client under the same offered load.
+  const FleetOutcome one = run_fleet(data(), saturating_config(), saturating_fleet(1));
+  const FleetOutcome many = run_fleet(data(), saturating_config(), saturating_fleet(16));
+  EXPECT_GT(many.mean_latency_s, 2.0 * one.mean_latency_s);
+  EXPECT_GT(many.medium_utilization, one.medium_utilization);
+}
+
+TEST(Fleet, WaitingCostsIdleEnergy) {
+  const FleetOutcome one = run_fleet(data(), saturating_config(), saturating_fleet(1));
+  const FleetOutcome many = run_fleet(data(), saturating_config(), saturating_fleet(16));
+  // Per-client energy grows with contention: the NIC idles in line.
+  EXPECT_GT(many.mean_client_energy_j, one.mean_client_energy_j);
+}
+
+TEST(Fleet, UtilizationApproachesSaturation) {
+  FleetConfig f = fleet_of(24, 8);
+  f.think_time_s = 0.05;  // aggressive offered load
+  const FleetOutcome o = run_fleet(data(), base_config(Scheme::FullyAtServer, 2.0), f);
+  EXPECT_GT(o.medium_utilization, 0.6);
+  EXPECT_LE(o.medium_utilization, 1.0 + 1e-9);
+}
+
+TEST(Fleet, HybridSchemesRunAndAnswer) {
+  for (const Scheme s : {Scheme::FilterClientRefineServer, Scheme::FilterServerRefineClient}) {
+    const FleetOutcome o = run_fleet(data(), base_config(s), fleet_of(4, 6));
+    EXPECT_GT(o.answers, 0u) << name_of(s);
+    EXPECT_GT(o.medium_utilization, 0.0) << name_of(s);
+    EXPECT_GT(o.server_utilization, 0.0) << name_of(s);
+  }
+}
+
+TEST(Fleet, Deterministic) {
+  const FleetOutcome a = run_fleet(data(), base_config(Scheme::FullyAtServer), fleet_of(6));
+  const FleetOutcome b = run_fleet(data(), base_config(Scheme::FullyAtServer), fleet_of(6));
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_DOUBLE_EQ(a.mean_client_energy_j, b.mean_client_energy_j);
+  EXPECT_EQ(a.answers, b.answers);
+}
+
+}  // namespace
+}  // namespace mosaiq::core

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/predicates.hpp"
+#include "geom/rect.hpp"
+#include "geom/segment.hpp"
+
+namespace mosaiq::geom {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{1, 2};
+  const Point b{3, -4};
+  EXPECT_EQ((a + b), (Point{4, -2}));
+  EXPECT_EQ((a - b), (Point{-2, 6}));
+  EXPECT_EQ((a * 2.0), (Point{2, 4}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 3 - 8);
+  EXPECT_DOUBLE_EQ(a.cross(b), -4 - 6);
+  EXPECT_DOUBLE_EQ(dist2(a, b), 4 + 36);
+  EXPECT_DOUBLE_EQ(dist(a, {1, 2}), 0.0);
+}
+
+TEST(Rect, EmptyIdentity) {
+  Rect e = Rect::empty();
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_DOUBLE_EQ(e.area(), 0.0);
+  e.expand(Point{0.5, 0.5});
+  EXPECT_FALSE(e.is_empty());
+  EXPECT_EQ(e.lo, (Point{0.5, 0.5}));
+  EXPECT_EQ(e.hi, (Point{0.5, 0.5}));
+}
+
+TEST(Rect, OfUnorderedCorners) {
+  const Rect r = Rect::of({3, 1}, {1, 3});
+  EXPECT_EQ(r.lo, (Point{1, 1}));
+  EXPECT_EQ(r.hi, (Point{3, 3}));
+  EXPECT_DOUBLE_EQ(r.area(), 4.0);
+  EXPECT_DOUBLE_EQ(r.half_perimeter(), 4.0);
+}
+
+TEST(Rect, ContainsAndIntersects) {
+  const Rect r{{0, 0}, {2, 2}};
+  EXPECT_TRUE(r.contains(Point{0, 0}));  // boundary counts
+  EXPECT_TRUE(r.contains(Point{2, 2}));
+  EXPECT_TRUE(r.contains(Point{1, 1}));
+  EXPECT_FALSE(r.contains(Point{2.001, 1}));
+
+  EXPECT_TRUE(r.intersects(Rect{{2, 2}, {3, 3}}));  // touching corner
+  EXPECT_TRUE(r.intersects(Rect{{1, 1}, {1.5, 1.5}}));
+  EXPECT_FALSE(r.intersects(Rect{{2.1, 0}, {3, 1}}));
+  EXPECT_TRUE(r.contains(Rect{{0.5, 0.5}, {1, 1}}));
+  EXPECT_FALSE(r.contains(Rect{{0.5, 0.5}, {2.5, 1}}));
+}
+
+TEST(Rect, UniteAndIntersection) {
+  const Rect a{{0, 0}, {1, 1}};
+  const Rect b{{2, 2}, {3, 3}};
+  const Rect u = unite(a, b);
+  EXPECT_EQ(u.lo, (Point{0, 0}));
+  EXPECT_EQ(u.hi, (Point{3, 3}));
+  EXPECT_TRUE(intersection(a, b).is_empty());
+  const Rect c{{0.5, 0.5}, {2.5, 2.5}};
+  const Rect i = intersection(u, c);
+  EXPECT_EQ(i.lo, (Point{0.5, 0.5}));
+  EXPECT_EQ(i.hi, (Point{2.5, 2.5}));
+}
+
+TEST(Rect, PointDistance) {
+  const Rect r{{0, 0}, {2, 2}};
+  EXPECT_DOUBLE_EQ(r.dist2(Point{1, 1}), 0.0);      // inside
+  EXPECT_DOUBLE_EQ(r.dist2(Point{3, 1}), 1.0);      // right face
+  EXPECT_DOUBLE_EQ(r.dist2(Point{3, 3}), 2.0);      // corner
+  EXPECT_DOUBLE_EQ(r.dist2(Point{-2, -2}), 8.0);
+}
+
+TEST(Segment, MbrAndMidpoint) {
+  const Segment s{{2, 3}, {0, 1}};
+  EXPECT_EQ(s.mbr().lo, (Point{0, 1}));
+  EXPECT_EQ(s.mbr().hi, (Point{2, 3}));
+  EXPECT_EQ(s.midpoint(), (Point{1, 2}));
+  EXPECT_DOUBLE_EQ(s.length(), std::sqrt(8.0));
+}
+
+TEST(Orientation, Signs) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, 1}), +1);
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, -1}), -1);
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {2, 0}), 0);
+}
+
+TEST(PointOnSegment, EndpointsAndInterior) {
+  const Segment s{{0, 0}, {2, 2}};
+  EXPECT_TRUE(point_on_segment({0, 0}, s));
+  EXPECT_TRUE(point_on_segment({2, 2}, s));
+  EXPECT_TRUE(point_on_segment({1, 1}, s));
+  EXPECT_FALSE(point_on_segment({1, 1.0001}, s));
+  EXPECT_FALSE(point_on_segment({3, 3}, s));  // collinear but beyond
+}
+
+TEST(SegmentsIntersect, GeneralPosition) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 1}}, {{2, 0}, {3, 1}}));
+}
+
+TEST(SegmentsIntersect, EndpointTouching) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}}));
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0}, {1, 1}}));  // T junction
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}}));
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{2, 0}, {3, 0}}));  // touch at end
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}));
+}
+
+TEST(SegmentRect, EndpointInside) {
+  const Rect r{{0, 0}, {2, 2}};
+  EXPECT_TRUE(segment_intersects_rect({{1, 1}, {5, 5}}, r));
+  EXPECT_TRUE(segment_intersects_rect({{0.5, 0.5}, {1.5, 1.5}}, r));  // fully inside
+}
+
+TEST(SegmentRect, CrossingWithoutEndpointInside) {
+  const Rect r{{0, 0}, {2, 2}};
+  EXPECT_TRUE(segment_intersects_rect({{-1, 1}, {3, 1}}, r));   // horizontal pierce
+  EXPECT_TRUE(segment_intersects_rect({{-1, -1}, {3, 3}}, r));  // diagonal pierce
+  EXPECT_TRUE(segment_intersects_rect({{-1, 2}, {2, -1}}, r));  // cuts a corner
+}
+
+TEST(SegmentRect, NearMisses) {
+  const Rect r{{0, 0}, {2, 2}};
+  EXPECT_FALSE(segment_intersects_rect({{-1, 3}, {3, 2.5}}, r));   // above
+  EXPECT_FALSE(segment_intersects_rect({{2.2, -1}, {2.2, 3}}, r)); // right of
+  // MBRs overlap but the segment passes outside the corner.
+  EXPECT_FALSE(segment_intersects_rect({{1.8, 3.0}, {3.0, 1.8}}, r));
+}
+
+TEST(SegmentRect, TouchingEdge) {
+  const Rect r{{0, 0}, {2, 2}};
+  EXPECT_TRUE(segment_intersects_rect({{2, 0.5}, {3, 0.5}}, r));  // starts on edge
+  EXPECT_TRUE(segment_intersects_rect({{-1, 0}, {3, 0}}, r));     // runs along edge
+}
+
+TEST(PointSegmentDist, PerpendicularFoot) {
+  const Segment s{{0, 0}, {4, 0}};
+  EXPECT_DOUBLE_EQ(point_segment_dist2({2, 3}, s), 9.0);
+  EXPECT_DOUBLE_EQ(point_segment_dist({2, -3}, s), 3.0);
+}
+
+TEST(PointSegmentDist, EndpointNearest) {
+  const Segment s{{0, 0}, {4, 0}};
+  // Foot of the perpendicular falls outside: distance to the nearer end.
+  EXPECT_DOUBLE_EQ(point_segment_dist2({-3, 4}, s), 25.0);
+  EXPECT_DOUBLE_EQ(point_segment_dist2({7, 4}, s), 25.0);
+}
+
+TEST(PointSegmentDist, DegenerateSegment) {
+  const Segment s{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ(point_segment_dist2({4, 5}, s), 25.0);
+}
+
+// --- property tests --------------------------------------------------------
+
+class GeomProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GeomProperty, SegRectAgreesWithDenseSampling) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  const Rect r{{0, 0}, {1, 1}};
+  for (int iter = 0; iter < 200; ++iter) {
+    const Segment s{{u(rng), u(rng)}, {u(rng), u(rng)}};
+    // Sample the segment densely; if any sample is inside the rect the
+    // predicate must say "intersects".  (One-sided check: sampling can
+    // miss grazing intersections, so only assert in this direction.)
+    bool sampled_inside = false;
+    for (int k = 0; k <= 500; ++k) {
+      const double t = k / 500.0;
+      const Point p = s.a + (s.b - s.a) * t;
+      if (r.contains(p)) {
+        sampled_inside = true;
+        break;
+      }
+    }
+    if (sampled_inside) {
+      EXPECT_TRUE(segment_intersects_rect(s, r))
+          << "seg (" << s.a.x << "," << s.a.y << ")-(" << s.b.x << "," << s.b.y << ")";
+    }
+  }
+}
+
+TEST_P(GeomProperty, SegSegSymmetry) {
+  std::mt19937_64 rng(GetParam() * 7919);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Segment s{{u(rng), u(rng)}, {u(rng), u(rng)}};
+    const Segment t{{u(rng), u(rng)}, {u(rng), u(rng)}};
+    EXPECT_EQ(segments_intersect(s, t), segments_intersect(t, s));
+    // Reversing the endpoints of either segment changes nothing.
+    EXPECT_EQ(segments_intersect(s, t), segments_intersect({s.b, s.a}, t));
+  }
+}
+
+TEST_P(GeomProperty, PointSegDistBelowEndpointDist) {
+  std::mt19937_64 rng(GetParam() * 104729);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Segment s{{u(rng), u(rng)}, {u(rng), u(rng)}};
+    const Point p{u(rng), u(rng)};
+    const double d2 = point_segment_dist2(p, s);
+    EXPECT_LE(d2, dist2(p, s.a) + 1e-12);
+    EXPECT_LE(d2, dist2(p, s.b) + 1e-12);
+    // And every sampled point of the segment is at least that far.
+    for (int k = 0; k <= 20; ++k) {
+      const Point q = s.a + (s.b - s.a) * (k / 20.0);
+      EXPECT_GE(dist2(p, q), d2 - 1e-9);
+    }
+  }
+}
+
+TEST_P(GeomProperty, RectAlgebraLaws) {
+  std::mt19937_64 rng(GetParam() * 31337);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  auto rnd_rect = [&] { return Rect::of({u(rng), u(rng)}, {u(rng), u(rng)}); };
+  for (int iter = 0; iter < 300; ++iter) {
+    const Rect a = rnd_rect();
+    const Rect b = rnd_rect();
+    const Rect c = rnd_rect();
+    // unite: commutative, associative, idempotent, and an upper bound.
+    EXPECT_EQ(unite(a, b), unite(b, a));
+    EXPECT_EQ(unite(unite(a, b), c), unite(a, unite(b, c)));
+    EXPECT_EQ(unite(a, a), a);
+    EXPECT_TRUE(unite(a, b).contains(a));
+    EXPECT_TRUE(unite(a, b).contains(b));
+    // intersection: commutative, contained in both, consistent with
+    // the intersects() predicate.
+    const Rect i = intersection(a, b);
+    EXPECT_EQ(i, intersection(b, a));
+    if (!i.is_empty()) {
+      EXPECT_TRUE(a.contains(i));
+      EXPECT_TRUE(b.contains(i));
+      EXPECT_TRUE(a.intersects(b));
+    } else {
+      EXPECT_FALSE(a.intersects(b));
+    }
+    // containment is antisymmetric up to equality and transitive with
+    // unite upper bounds.
+    if (a.contains(b) && b.contains(a)) EXPECT_EQ(a, b);
+    // dist2 is zero exactly on containment of the point.
+    const Point p{u(rng), u(rng)};
+    EXPECT_EQ(a.dist2(p) == 0.0, a.contains(p));
+  }
+}
+
+TEST_P(GeomProperty, ExpandNeverShrinks) {
+  std::mt19937_64 rng(GetParam() * 977);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Rect acc = Rect::empty();
+  double prev_area = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const Rect before = acc;
+    acc.expand(Point{u(rng), u(rng)});
+    if (!before.is_empty()) {
+      EXPECT_TRUE(acc.contains(before));
+      EXPECT_GE(acc.area(), prev_area);
+    }
+    prev_area = acc.area();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeomProperty, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace mosaiq::geom

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+#include "hilbert/hilbert.hpp"
+
+namespace mosaiq::hilbert {
+namespace {
+
+TEST(Hilbert, Order1Curve) {
+  // The canonical order-1 curve: (0,0) -> (0,1) -> (1,1) -> (1,0).
+  EXPECT_EQ(xy_to_d(1, 0, 0), 0u);
+  EXPECT_EQ(xy_to_d(1, 0, 1), 1u);
+  EXPECT_EQ(xy_to_d(1, 1, 1), 2u);
+  EXPECT_EQ(xy_to_d(1, 1, 0), 3u);
+}
+
+TEST(Hilbert, RoundTripSmallOrders) {
+  for (unsigned order = 1; order <= 6; ++order) {
+    const std::uint64_t n = 1ull << (2 * order);
+    for (std::uint64_t d = 0; d < n; ++d) {
+      std::uint32_t x = 0;
+      std::uint32_t y = 0;
+      d_to_xy(order, d, x, y);
+      EXPECT_LT(x, 1u << order);
+      EXPECT_LT(y, 1u << order);
+      EXPECT_EQ(xy_to_d(order, x, y), d);
+    }
+  }
+}
+
+TEST(Hilbert, RoundTripOrder16Random) {
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<std::uint64_t> u(0, (1ull << 32) - 1);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t d = u(rng);
+    std::uint32_t x = 0;
+    std::uint32_t y = 0;
+    d_to_xy(16, d, x, y);
+    EXPECT_EQ(xy_to_d(16, x, y), d);
+  }
+}
+
+TEST(Hilbert, ConsecutiveCellsAreGridNeighbors) {
+  // The defining locality property of the Hilbert curve: successive
+  // curve positions differ by exactly one step in exactly one axis.
+  for (unsigned order : {2u, 4u, 6u}) {
+    const std::uint64_t n = 1ull << (2 * order);
+    std::uint32_t px = 0;
+    std::uint32_t py = 0;
+    d_to_xy(order, 0, px, py);
+    for (std::uint64_t d = 1; d < n; ++d) {
+      std::uint32_t x = 0;
+      std::uint32_t y = 0;
+      d_to_xy(order, d, x, y);
+      const int dx = std::abs(static_cast<int>(x) - static_cast<int>(px));
+      const int dy = std::abs(static_cast<int>(y) - static_cast<int>(py));
+      EXPECT_EQ(dx + dy, 1) << "order " << order << " d " << d;
+      px = x;
+      py = y;
+    }
+  }
+}
+
+TEST(Morton, InterleavesBits) {
+  EXPECT_EQ(morton_key(0, 0), 0u);
+  EXPECT_EQ(morton_key(1, 0), 1u);
+  EXPECT_EQ(morton_key(0, 1), 2u);
+  EXPECT_EQ(morton_key(0xffffffffu, 0), 0x5555555555555555ull);
+  EXPECT_EQ(morton_key(0, 0xffffffffu), 0xaaaaaaaaaaaaaaaaull);
+}
+
+TEST(Mapper, ClampsToGrid) {
+  const Mapper m({{0, 0}, {1, 1}}, 8);
+  // Corners and out-of-extent points are valid (clamped).
+  EXPECT_NO_THROW(m.hilbert_key({0, 0}));
+  EXPECT_NO_THROW(m.hilbert_key({1, 1}));
+  EXPECT_NO_THROW(m.hilbert_key({-5, 12}));
+  EXPECT_EQ(m.hilbert_key({-5, -5}), m.hilbert_key({0, 0}));
+}
+
+TEST(Mapper, PreservesSpatialLocality) {
+  const Mapper m({{0, 0}, {1, 1}}, 16);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.05, 0.95);
+  // Keys of nearby points should usually be closer than keys of far
+  // points; check in aggregate over many trials.
+  int closer = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const geom::Point p{u(rng), u(rng)};
+    const geom::Point near{p.x + 0.001, p.y + 0.001};
+    const geom::Point far{u(rng), u(rng)};
+    const auto kp = m.hilbert_key(p);
+    const auto kn = m.hilbert_key(near);
+    const auto kf = m.hilbert_key(far);
+    auto gap = [](std::uint64_t a, std::uint64_t b) { return a > b ? a - b : b - a; };
+    if (gap(kp, kn) < gap(kp, kf)) ++closer;
+  }
+  EXPECT_GT(closer, trials * 0.85);
+}
+
+}  // namespace
+}  // namespace mosaiq::hilbert

@@ -1,0 +1,170 @@
+// Tests for the k-nearest-neighbor extension (paper Section 7 names
+// "consideration of other spatial queries" as future work).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/session.hpp"
+#include "geom/predicates.hpp"
+#include "rtree/dynamic_rtree.hpp"
+#include "serial/messages.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::rtree {
+namespace {
+
+std::vector<geom::Segment> random_segments(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_real_distribution<double> len(-0.01, 0.01);
+  std::vector<geom::Segment> segs;
+  segs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Point a{u(rng), u(rng)};
+    segs.push_back({a, {a.x + len(rng), a.y + len(rng)}});
+  }
+  return segs;
+}
+
+std::vector<double> brute_knn_dists(const SegmentStore& store, const geom::Point& p,
+                                    std::uint32_t k) {
+  std::vector<double> d;
+  d.reserve(store.size());
+  for (std::uint32_t i = 0; i < store.size(); ++i) {
+    d.push_back(std::sqrt(geom::point_segment_dist2(p, store.segment(i))));
+  }
+  std::sort(d.begin(), d.end());
+  d.resize(std::min<std::size_t>(k, d.size()));
+  return d;
+}
+
+TEST(NearestK, EmptyAndZeroK) {
+  SegmentStore empty;
+  const PackedRTree t = PackedRTree::build(empty, SortOrder::Hilbert);
+  EXPECT_TRUE(t.nearest_k({0.5, 0.5}, 3, empty, null_hooks()).empty());
+
+  SegmentStore one(std::vector<geom::Segment>{{{0.1, 0.1}, {0.2, 0.2}}});
+  const PackedRTree t1 = PackedRTree::build(one, SortOrder::Hilbert);
+  EXPECT_TRUE(t1.nearest_k({0.5, 0.5}, 0, one, null_hooks()).empty());
+}
+
+TEST(NearestK, FewerRecordsThanK) {
+  SegmentStore store(random_segments(5, 1));
+  const PackedRTree t = PackedRTree::build(store, SortOrder::Hilbert);
+  const auto r = t.nearest_k({0.5, 0.5}, 10, store, null_hooks());
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(r.begin(), r.end(),
+                             [](const NNResult& a, const NNResult& b) { return a.dist < b.dist; }));
+}
+
+TEST(NearestK, KEquals1MatchesNearest) {
+  SegmentStore store(random_segments(1000, 2));
+  const PackedRTree t = PackedRTree::build(store, SortOrder::Hilbert);
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 20; ++i) {
+    const geom::Point p{u(rng), u(rng)};
+    const auto one = t.nearest(p, store, null_hooks());
+    const auto k1 = t.nearest_k(p, 1, store, null_hooks());
+    ASSERT_TRUE(one.has_value());
+    ASSERT_EQ(k1.size(), 1u);
+    EXPECT_DOUBLE_EQ(one->dist, k1[0].dist);
+    EXPECT_EQ(one->id, k1[0].id);
+  }
+}
+
+class NearestKSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(NearestKSweep, MatchesBruteForceDistances) {
+  const std::uint32_t k = GetParam();
+  SegmentStore store(random_segments(2000, 5));
+  const PackedRTree packed = PackedRTree::build(store, SortOrder::Hilbert);
+  const DynamicRTree dynamic = DynamicRTree::build(store);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    const geom::Point p{u(rng), u(rng)};
+    const auto oracle = brute_knn_dists(store, p, k);
+    const auto rp = packed.nearest_k(p, k, store, null_hooks());
+    const auto rd = dynamic.nearest_k(p, k, store, null_hooks());
+    ASSERT_EQ(rp.size(), oracle.size());
+    ASSERT_EQ(rd.size(), oracle.size());
+    for (std::size_t j = 0; j < oracle.size(); ++j) {
+      EXPECT_NEAR(rp[j].dist, oracle[j], 1e-9) << "k=" << k << " j=" << j;
+      EXPECT_NEAR(rd[j].dist, oracle[j], 1e-9) << "k=" << k << " j=" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, NearestKSweep, ::testing::Values(1u, 2u, 5u, 16u, 50u));
+
+TEST(NearestK, WorkGrowsWithK) {
+  SegmentStore store(random_segments(5000, 9));
+  const PackedRTree t = PackedRTree::build(store, SortOrder::Hilbert);
+  CountingHooks small;
+  CountingHooks big;
+  t.nearest_k({0.5, 0.5}, 1, store, small);
+  t.nearest_k({0.5, 0.5}, 64, store, big);
+  EXPECT_GT(big.instructions(), small.instructions());
+}
+
+}  // namespace
+}  // namespace mosaiq::rtree
+
+namespace mosaiq::core {
+namespace {
+
+TEST(KnnSession, FullySchemesAgreeAndHybridsThrow) {
+  const workload::Dataset data = workload::make_pa(15000);
+  workload::QueryGen gen(data, 11);
+  const auto queries = gen.knn_batch(10, 8);
+
+  SessionConfig client_cfg;
+  client_cfg.channel = {4.0, 1000.0};
+  client_cfg.client = sim::client_at_ratio(1.0 / 8.0);
+  const stats::Outcome local = Session::run_batch(data, client_cfg, queries);
+  EXPECT_EQ(local.answers, 80u);
+
+  SessionConfig server_cfg = client_cfg;
+  server_cfg.scheme = Scheme::FullyAtServer;
+  const stats::Outcome remote = Session::run_batch(data, server_cfg, queries);
+  EXPECT_EQ(remote.answers, 80u);
+  EXPECT_EQ(remote.round_trips, 10u);
+
+  SessionConfig hybrid = client_cfg;
+  hybrid.scheme = Scheme::FilterClientRefineServer;
+  Session s(data, hybrid);
+  EXPECT_THROW(s.run_query(queries.front()), std::invalid_argument);
+}
+
+TEST(KnnSession, ResponseGrowsWithK) {
+  const workload::Dataset data = workload::make_pa(15000);
+  workload::QueryGen gen(data, 12);
+  SessionConfig cfg;
+  cfg.scheme = Scheme::FullyAtServer;
+  cfg.placement.data_at_client = false;  // records on the wire
+  cfg.channel = {4.0, 1000.0};
+  cfg.client = sim::client_at_ratio(1.0 / 8.0);
+
+  const stats::Outcome k1 = Session::run_batch(data, cfg, gen.knn_batch(10, 1));
+  const stats::Outcome k32 = Session::run_batch(data, cfg, gen.knn_batch(10, 32));
+  EXPECT_GT(k32.bytes_rx, k1.bytes_rx + 10ull * 31 * rtree::kRecordBytes / 2);
+  EXPECT_GT(k32.energy.nic_rx_j, k1.energy.nic_rx_j);
+}
+
+TEST(KnnSerial, RoundTrip) {
+  serial::QueryRequest req;
+  req.query = rtree::KnnQuery{{0.25, 0.75}, 17};
+  serial::ByteWriter w;
+  req.encode(w);
+  EXPECT_EQ(w.size(), req.encoded_size());
+  serial::ByteReader r(w.data());
+  const serial::QueryRequest back = serial::QueryRequest::decode(r);
+  const auto& kq = std::get<rtree::KnnQuery>(back.query);
+  EXPECT_EQ(kq.k, 17u);
+  EXPECT_DOUBLE_EQ(kq.p.y, 0.75);
+}
+
+}  // namespace
+}  // namespace mosaiq::core

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "model/analytic.hpp"
+
+namespace mosaiq::model {
+namespace {
+
+Params typical() {
+  Params p;
+  p.bandwidth_mbps = 4.0;
+  p.client_mhz = 125.0;
+  p.server_mhz = 1000.0;
+  p.packet_tx_bits = 8 * 200;
+  p.packet_rx_bits = 8 * 2000;
+  p.c_fully_local = 2'000'000;
+  p.c_local = 100'000;
+  p.c_protocol = 50'000;
+  p.c_w2 = 600'000;
+  p.p_client_w = 0.07;
+  return p;
+}
+
+TEST(Analytic, TransferCycleFormulas) {
+  const Params p = typical();
+  // C_Tx = (bits / B) * Mhz_C.
+  EXPECT_NEAR(c_tx(p), (1600.0 / 4e6) * 125e6, 1e-6);
+  EXPECT_NEAR(c_rx(p), (16000.0 / 4e6) * 125e6, 1e-6);
+  // C_wait = (C_w2 / Mhz_S) * Mhz_C = server cycles / 8.
+  EXPECT_NEAR(c_wait(p), 75'000.0, 1e-9);
+}
+
+TEST(Analytic, PartitionedCyclesComposition) {
+  const Params p = typical();
+  EXPECT_NEAR(partitioned_cycles(p),
+              c_tx(p) + c_rx(p) + c_wait(p) + p.c_local + p.c_protocol, 1e-9);
+}
+
+TEST(Analytic, FullyLocalEnergy) {
+  const Params p = typical();
+  const double seconds = 2'000'000.0 / 125e6;
+  EXPECT_NEAR(fully_local_energy_j(p), (0.07 + 0.0198) * seconds, 1e-12);
+}
+
+TEST(Analytic, WinConditionsFlipWithBandwidth) {
+  Params p = typical();
+  p.bandwidth_mbps = 0.2;  // dreadful channel: local must win both ways
+  EXPECT_FALSE(partition_wins_performance(p));
+  EXPECT_FALSE(partition_wins_energy(p));
+  p.bandwidth_mbps = 500.0;  // near-free channel: offloading wins
+  EXPECT_TRUE(partition_wins_performance(p));
+  EXPECT_TRUE(partition_wins_energy(p));
+}
+
+TEST(Analytic, PerformanceWinsBeforeEnergy) {
+  // The paper's recurring observation: communication costs more energy
+  // than time, so the cycles criterion flips at a lower bandwidth.
+  Params p = typical();
+  const double perf_be = cycles_break_even_bandwidth(p);
+  const double energy_be = energy_break_even_bandwidth(p);
+  EXPECT_LT(perf_be, energy_be);
+}
+
+TEST(Analytic, BreakEvenIsAccurate) {
+  Params p = typical();
+  const double be = energy_break_even_bandwidth(p);
+  ASSERT_GT(be, 0.11);
+  ASSERT_LT(be, 999.0);
+  p.bandwidth_mbps = be * 1.05;
+  EXPECT_TRUE(partition_wins_energy(p));
+  p.bandwidth_mbps = be * 0.95;
+  EXPECT_FALSE(partition_wins_energy(p));
+}
+
+TEST(Analytic, BreakEvenSaturatesWhenHopeless) {
+  Params p = typical();
+  // Local execution is so cheap that offloading never pays.
+  p.c_fully_local = 1000;
+  EXPECT_EQ(energy_break_even_bandwidth(p, 0.1, 1000.0), 1000.0);
+  EXPECT_EQ(cycles_break_even_bandwidth(p, 0.1, 1000.0), 1000.0);
+}
+
+TEST(Analytic, SlowerClientFavorsOffloading) {
+  // Paper Section 4.1: reducing Mhz_C/Mhz_S favors partitioning.
+  Params fast = typical();
+  fast.client_mhz = 500.0;
+  fast.c_w2 = 600'000;
+  Params slow = fast;
+  slow.client_mhz = 125.0;
+  // Same cycle counts: the slower client spends more *time* locally, so
+  // its local energy rises while the offloaded path is unchanged in
+  // seconds-of-NIC terms; break-even drops.
+  EXPECT_LE(energy_break_even_bandwidth(slow), energy_break_even_bandwidth(fast));
+}
+
+TEST(Analytic, SmallerMessagesFavorOffloading) {
+  Params big = typical();
+  big.packet_rx_bits = 8 * 50'000;
+  Params small = typical();
+  small.packet_rx_bits = 8 * 500;
+  EXPECT_LT(energy_break_even_bandwidth(small), energy_break_even_bandwidth(big));
+  EXPECT_LT(cycles_break_even_bandwidth(small), cycles_break_even_bandwidth(big));
+}
+
+}  // namespace
+}  // namespace mosaiq::model

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "net/nic.hpp"
+#include "net/protocol.hpp"
+#include "rtree/exec.hpp"
+
+namespace mosaiq::net {
+namespace {
+
+TEST(NicPowerModel, MatchesTable2Points) {
+  const NicPowerModel p;
+  EXPECT_NEAR(p.tx_mw(100.0), 1089.1, 0.1);
+  EXPECT_NEAR(p.tx_mw(1000.0), 3089.1, 0.1);
+  EXPECT_DOUBLE_EQ(p.rx_mw, 165.0);
+  EXPECT_DOUBLE_EQ(p.idle_mw, 100.0);
+  EXPECT_DOUBLE_EQ(p.sleep_mw, 19.8);
+  EXPECT_DOUBLE_EQ(p.sleep_exit_s, 470e-6);
+}
+
+TEST(NicPowerModel, TxPowerGrowsWithDistance) {
+  const NicPowerModel p;
+  EXPECT_LT(p.tx_mw(100.0), p.tx_mw(500.0));
+  EXPECT_LT(p.tx_mw(500.0), p.tx_mw(1000.0));
+  // "changing the transmission distance from 100 m to 1 km can nearly
+  // triple the transmitter power"
+  EXPECT_NEAR(p.tx_mw(1000.0) / p.tx_mw(100.0), 2.84, 0.1);
+}
+
+TEST(Nic, AccumulatesTimeAndEnergyPerState) {
+  Nic nic(NicPowerModel{}, 1000.0);
+  nic.spend(NicState::Transmit, 2.0);
+  nic.spend(NicState::Receive, 3.0);
+  nic.spend(NicState::Idle, 4.0);
+  nic.spend(NicState::Sleep, 5.0);
+  EXPECT_DOUBLE_EQ(nic.seconds_in(NicState::Transmit), 2.0);
+  EXPECT_NEAR(nic.joules_in(NicState::Transmit), 2.0 * 3.0891, 1e-4);
+  EXPECT_NEAR(nic.joules_in(NicState::Receive), 3.0 * 0.165, 1e-12);
+  EXPECT_NEAR(nic.joules_in(NicState::Idle), 4.0 * 0.100, 1e-12);
+  EXPECT_NEAR(nic.joules_in(NicState::Sleep), 5.0 * 0.0198, 1e-12);
+  EXPECT_NEAR(nic.total_joules(),
+              nic.joules_in(NicState::Transmit) + nic.joules_in(NicState::Receive) +
+                  nic.joules_in(NicState::Idle) + nic.joules_in(NicState::Sleep),
+              1e-12);
+}
+
+TEST(Nic, SleepExitChargesLatency) {
+  Nic nic(NicPowerModel{}, 100.0);
+  const double dt = nic.sleep_exit();
+  EXPECT_DOUBLE_EQ(dt, 470e-6);
+  EXPECT_NEAR(nic.joules_in(NicState::Idle), 470e-6 * 0.100, 1e-12);
+}
+
+TEST(Nic, NegativeOrZeroTimeIgnored) {
+  Nic nic(NicPowerModel{}, 100.0);
+  nic.spend(NicState::Transmit, 0.0);
+  nic.spend(NicState::Transmit, -1.0);
+  EXPECT_DOUBLE_EQ(nic.total_joules(), 0.0);
+}
+
+TEST(WireCost, SingleSmallPacket) {
+  const WireCost w = wire_cost(100);
+  EXPECT_EQ(w.packets, 1u);
+  EXPECT_EQ(w.wire_bytes, 140u);
+  EXPECT_EQ(w.wire_bits(), 1120u);
+}
+
+TEST(WireCost, EmptyPayloadStillSendsAFrame) {
+  const WireCost w = wire_cost(0);
+  EXPECT_EQ(w.packets, 1u);
+  EXPECT_EQ(w.wire_bytes, 40u);
+}
+
+TEST(WireCost, MtuBoundaries) {
+  const ProtocolConfig cfg;  // 1500 MTU, 40 header -> 1460 payload/packet
+  EXPECT_EQ(wire_cost(1460, cfg).packets, 1u);
+  EXPECT_EQ(wire_cost(1461, cfg).packets, 2u);
+  EXPECT_EQ(wire_cost(2920, cfg).packets, 2u);
+  EXPECT_EQ(wire_cost(2921, cfg).packets, 3u);
+  EXPECT_EQ(wire_cost(1461, cfg).wire_bytes, 1461u + 80u);
+}
+
+TEST(WireCost, LargeTransfer) {
+  const WireCost w = wire_cost(1 << 20);
+  EXPECT_EQ(w.packets, (1u << 20) / 1460 + 1);
+  EXPECT_EQ(w.wire_bytes, (1u << 20) + std::uint64_t{w.packets} * 40);
+}
+
+TEST(ControlBytes, HandshakePlusDelayedAcks) {
+  const ProtocolConfig cfg;  // 3 control packets, ack every 2
+  EXPECT_EQ(control_bytes(0, cfg), 3u * 40u);
+  EXPECT_EQ(control_bytes(1, cfg), 4u * 40u);
+  EXPECT_EQ(control_bytes(2, cfg), 4u * 40u);
+  EXPECT_EQ(control_bytes(3, cfg), 5u * 40u);
+  ProtocolConfig no_ack = cfg;
+  no_ack.ack_every = 0;
+  EXPECT_EQ(control_bytes(100, no_ack), 3u * 40u);
+}
+
+TEST(Channel, TransferTimeScalesWithBandwidth) {
+  const WireCost w = wire_cost(10000);
+  const Channel c2{2.0, 1000.0};
+  const Channel c11{11.0, 1000.0};
+  EXPECT_NEAR(c2.seconds_for(w) / c11.seconds_for(w), 5.5, 1e-9);
+  EXPECT_NEAR(c2.seconds_for(w), static_cast<double>(w.wire_bits()) / 2e6, 1e-12);
+}
+
+TEST(ProtocolCharge, CostScalesWithPayload) {
+  rtree::CountingHooks small;
+  rtree::CountingHooks big;
+  charge_protocol_tx(wire_cost(100), small);
+  charge_protocol_tx(wire_cost(100000), big);
+  EXPECT_GT(big.instructions(), 100u * small.instructions() / 10);
+  // Copy traffic: roughly 2 bytes moved per payload byte (read + write).
+  EXPECT_NEAR(static_cast<double>(big.bytes_read() + big.bytes_written()), 2.0 * 100000,
+              0.2 * 100000);
+}
+
+TEST(ProtocolCharge, RxAndTxSymmetricInMagnitude) {
+  rtree::CountingHooks tx;
+  rtree::CountingHooks rx;
+  charge_protocol_tx(wire_cost(5000), tx);
+  charge_protocol_rx(wire_cost(5000), rx);
+  EXPECT_EQ(tx.instructions(), rx.instructions());
+  EXPECT_EQ(tx.bytes_read() + tx.bytes_written(), rx.bytes_read() + rx.bytes_written());
+}
+
+TEST(ProtocolCharge, PerPacketOverheadVisible) {
+  // Same payload in 1 packet vs forced tiny MTU -> many packets.
+  ProtocolConfig tiny;
+  tiny.mtu_bytes = 120;  // 80 B payload per packet
+  rtree::CountingHooks one;
+  rtree::CountingHooks many;
+  charge_protocol_tx(wire_cost(1000), one);
+  charge_protocol_tx(wire_cost(1000, tiny), many);
+  EXPECT_GT(many.instructions(), one.instructions());
+}
+
+}  // namespace
+}  // namespace mosaiq::net

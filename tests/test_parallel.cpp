@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/parallel.hpp"
+
+namespace mosaiq::stats {
+namespace {
+
+TEST(ParallelMap, ResultsInInputOrder) {
+  const auto out = parallel_map<std::size_t>(1000, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, EmptyAndSingle) {
+  EXPECT_TRUE(parallel_map<int>(0, [](std::size_t) { return 1; }).empty());
+  const auto one = parallel_map<int>(1, [](std::size_t) { return 7; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 7);
+}
+
+TEST(ParallelMap, WorkerCountBounds) {
+  EXPECT_EQ(worker_count(0), 1u);
+  EXPECT_GE(worker_count(100), 1u);
+  EXPECT_LE(worker_count(2), 2u);
+}
+
+TEST(ParallelMap, ExceptionsPropagate) {
+  EXPECT_THROW(parallel_map<int>(64,
+                                 [](std::size_t i) -> int {
+                                   if (i == 13) throw std::runtime_error("boom");
+                                   return 0;
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ParallelMap, HeavyJobsAllComplete) {
+  // Uneven job sizes exercise the work-stealing-ish atomic counter.
+  const auto out = parallel_map<std::uint64_t>(200, [](std::size_t i) {
+    std::uint64_t acc = 0;
+    for (std::size_t k = 0; k < (i % 7 + 1) * 10000; ++k) acc += k;
+    return acc;
+  });
+  EXPECT_EQ(out.size(), 200u);
+  EXPECT_GT(std::accumulate(out.begin(), out.end(), std::uint64_t{0}), 0u);
+}
+
+}  // namespace
+}  // namespace mosaiq::stats

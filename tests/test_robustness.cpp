@@ -1,0 +1,147 @@
+// Hardening property suites:
+//   - serialization fuzzing: decoding arbitrary bytes must throw a typed
+//     exception or succeed, never crash or read out of bounds;
+//   - LRU stack property: enlarging a fully-associative LRU cache can
+//     never increase its miss count on any trace;
+//   - truncation/corruption round trips.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "serial/messages.hpp"
+#include "sim/cache.hpp"
+
+namespace mosaiq {
+namespace {
+
+// --- serialization fuzz ------------------------------------------------
+
+template <typename Message>
+void fuzz_decode(std::uint64_t seed, std::size_t iterations) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> len(0, 600);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (std::size_t i = 0; i < iterations; ++i) {
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(len(rng)));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(byte(rng));
+    serial::ByteReader r(buf);
+    try {
+      (void)Message::decode(r);
+    } catch (const std::out_of_range&) {
+      // expected for truncated/corrupt input
+    }
+  }
+}
+
+TEST(SerialFuzz, QueryRequestNeverCrashes) {
+  fuzz_decode<serial::QueryRequest>(1, 3000);
+}
+TEST(SerialFuzz, IdListResponseNeverCrashes) {
+  fuzz_decode<serial::IdListResponse>(2, 3000);
+}
+TEST(SerialFuzz, RecordResponseNeverCrashes) {
+  fuzz_decode<serial::RecordResponse>(3, 3000);
+}
+TEST(SerialFuzz, ShipmentResponseNeverCrashes) {
+  fuzz_decode<serial::ShipmentResponse>(4, 3000);
+}
+TEST(SerialFuzz, NNResponseNeverCrashes) { fuzz_decode<serial::NNResponse>(5, 3000); }
+
+TEST(SerialFuzz, TruncatedValidMessagesThrow) {
+  serial::QueryRequest req;
+  req.query = rtree::RangeQuery{{{0.1, 0.2}, {0.3, 0.4}}};
+  req.candidates = {1, 2, 3, 4, 5};
+  serial::ByteWriter w;
+  req.encode(w);
+  const auto& full = w.data();
+  // Every proper prefix must throw, not crash (last byte removed ->
+  // candidate list truncated, etc.).
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<std::uint8_t> buf(full.begin(), full.begin() + cut);
+    serial::ByteReader r(buf);
+    EXPECT_THROW((void)serial::QueryRequest::decode(r), std::out_of_range) << "cut " << cut;
+  }
+}
+
+TEST(SerialFuzz, BitFlipsDecodeOrThrow) {
+  serial::ShipmentResponse resp;
+  resp.safe_rect = {{0.1, 0.1}, {0.9, 0.9}};
+  resp.node_count = 2;
+  resp.records.resize(3);
+  serial::ByteWriter w;
+  resp.encode(w);
+  std::vector<std::uint8_t> buf = w.data();
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> corrupted = buf;
+    corrupted[rng() % corrupted.size()] ^= static_cast<std::uint8_t>(1u << (rng() % 8));
+    serial::ByteReader r(corrupted);
+    try {
+      (void)serial::ShipmentResponse::decode(r);
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+// --- LRU stack property ------------------------------------------------
+
+std::uint64_t misses_on_trace(std::uint32_t lines, const std::vector<std::uint64_t>& trace) {
+  // Fully associative: one set, `lines` ways.
+  sim::Cache c({lines * 32, lines, 32});
+  for (const std::uint64_t a : trace) c.access(a, false);
+  return c.stats().misses;
+}
+
+TEST(CacheProperty, LruStackPropertyHolds) {
+  // For fully-associative LRU, miss counts are monotone non-increasing
+  // in capacity, on ANY trace (Mattson et al.'s inclusion property).
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint64_t> trace;
+    std::uniform_int_distribution<std::uint64_t> addr(0, 63);
+    for (int i = 0; i < 3000; ++i) trace.push_back(addr(rng) * 32);
+    std::uint64_t prev = std::numeric_limits<std::uint64_t>::max();
+    for (const std::uint32_t lines : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      const std::uint64_t m = misses_on_trace(lines, trace);
+      EXPECT_LE(m, prev) << "trial " << trial << " lines " << lines;
+      prev = m;
+    }
+    // And once everything fits, only cold misses remain.
+    EXPECT_EQ(misses_on_trace(64, trace),
+              [&] {
+                std::vector<std::uint64_t> uniq = trace;
+                std::sort(uniq.begin(), uniq.end());
+                uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+                return uniq.size();
+              }());
+  }
+}
+
+TEST(CacheProperty, MissesMatchReferenceLruModel) {
+  // Cross-check the cache simulator against an independent reference
+  // LRU implementation on random traces.
+  std::mt19937_64 rng(8);
+  for (const std::uint32_t ways : {4u, 8u}) {
+    sim::Cache cache({ways * 32, ways, 32});
+    std::vector<std::uint64_t> lru;  // front = most recent
+    std::uint64_t ref_misses = 0;
+    std::uniform_int_distribution<std::uint64_t> addr(0, 24);
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t line = addr(rng);
+      const auto hit_it = std::find(lru.begin(), lru.end(), line);
+      if (hit_it == lru.end()) {
+        ++ref_misses;
+        lru.insert(lru.begin(), line);
+        if (lru.size() > ways) lru.pop_back();
+      } else {
+        lru.erase(hit_it);
+        lru.insert(lru.begin(), line);
+      }
+      cache.access(line * 32, false);
+    }
+    EXPECT_EQ(cache.stats().misses, ref_misses) << "ways " << ways;
+  }
+}
+
+}  // namespace
+}  // namespace mosaiq

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/pipelined_session.hpp"
+#include "core/session.hpp"
+#include "geom/predicates.hpp"
+#include "serial/messages.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::rtree {
+namespace {
+
+std::vector<geom::Segment> random_segments(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_real_distribution<double> len(-0.01, 0.01);
+  std::vector<geom::Segment> segs;
+  segs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Point a{u(rng), u(rng)};
+    segs.push_back({a, {a.x + len(rng), a.y + len(rng)}});
+  }
+  return segs;
+}
+
+std::vector<std::uint32_t> brute_route(const SegmentStore& store,
+                                       std::span<const geom::Segment> legs) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < store.size(); ++i) {
+    for (const geom::Segment& l : legs) {
+      if (geom::segments_intersect(store.segment(i), l)) {
+        out.push_back(store.id(i));
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RouteQuery, LegAccessors) {
+  RouteQuery q;
+  EXPECT_EQ(q.legs(), 0u);
+  q.waypoints = {{0, 0}, {1, 0}, {1, 1}};
+  ASSERT_EQ(q.legs(), 2u);
+  EXPECT_EQ(q.leg(0).b, (geom::Point{1, 0}));
+  EXPECT_EQ(q.leg(1).a, (geom::Point{1, 0}));
+}
+
+TEST(RouteFilter, EmptyLegsAndEmptyTree) {
+  SegmentStore store(random_segments(100, 1));
+  const PackedRTree t = PackedRTree::build(store, SortOrder::Hilbert);
+  std::vector<std::uint32_t> out;
+  t.filter_route({}, null_hooks(), out);
+  EXPECT_TRUE(out.empty());
+
+  SegmentStore empty;
+  const PackedRTree te = PackedRTree::build(empty, SortOrder::Hilbert);
+  const std::vector<geom::Segment> legs{{{0, 0}, {1, 1}}};
+  te.filter_route(legs, null_hooks(), out);
+  EXPECT_TRUE(out.empty());
+}
+
+class RouteEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouteEquivalence, MatchesBruteForce) {
+  SegmentStore store(random_segments(3000, GetParam()));
+  const PackedRTree t = PackedRTree::build(store, SortOrder::Hilbert);
+
+  std::mt19937_64 rng(GetParam() * 17);
+  std::uniform_real_distribution<double> u(0.1, 0.9);
+  for (int k = 0; k < 10; ++k) {
+    // A 6-leg zigzag route across the map.
+    std::vector<geom::Segment> legs;
+    geom::Point p{u(rng), u(rng)};
+    for (int i = 0; i < 6; ++i) {
+      geom::Point next{u(rng), u(rng)};
+      legs.push_back({p, next});
+      p = next;
+    }
+
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> ids;
+    t.filter_route(legs, null_hooks(), cand);
+    refine_route(store, legs, cand, null_hooks(), ids);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(ids, brute_route(store, legs));
+
+    // Candidates are unique even when legs overlap each other.
+    std::vector<std::uint32_t> sorted = cand;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouteEquivalence, ::testing::Values(1u, 2u, 3u));
+
+TEST(RouteSerial, RoundTrip) {
+  serial::QueryRequest req;
+  rtree::RouteQuery rq;
+  rq.waypoints = {{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}};
+  req.query = rq;
+  serial::ByteWriter w;
+  req.encode(w);
+  EXPECT_EQ(w.size(), req.encoded_size());
+  serial::ByteReader r(w.data());
+  const serial::QueryRequest back = serial::QueryRequest::decode(r);
+  const auto& brq = std::get<rtree::RouteQuery>(back.query);
+  ASSERT_EQ(brq.waypoints.size(), 3u);
+  EXPECT_DOUBLE_EQ(brq.waypoints[2].y, 0.6);
+}
+
+}  // namespace
+}  // namespace mosaiq::rtree
+
+namespace mosaiq::core {
+namespace {
+
+const workload::Dataset& data() {
+  static workload::Dataset d = workload::make_pa(25000);
+  return d;
+}
+
+SessionConfig base_config() {
+  SessionConfig cfg;
+  cfg.channel = {4.0, 1000.0};
+  cfg.client = sim::client_at_ratio(1.0 / 8.0);
+  return cfg;
+}
+
+TEST(RouteSession, AllSchemesAgree) {
+  workload::QueryGen gen(data(), 7);
+  const auto queries = gen.batch(rtree::QueryKind::Route, 10);
+
+  SessionConfig ref = base_config();
+  const std::uint64_t expected = Session::run_batch(data(), ref, queries).answers;
+  EXPECT_GT(expected, 0u);
+
+  for (const Scheme s : {Scheme::FullyAtServer, Scheme::FilterClientRefineServer,
+                         Scheme::FilterServerRefineClient}) {
+    for (const bool at_client : {true, false}) {
+      if (s == Scheme::FilterServerRefineClient && !at_client) continue;
+      SessionConfig cfg = base_config();
+      cfg.scheme = s;
+      cfg.placement.data_at_client = at_client;
+      EXPECT_EQ(Session::run_batch(data(), cfg, queries).answers, expected)
+          << name_of(s) << " data@" << at_client;
+    }
+  }
+}
+
+TEST(RouteSession, PipelinedAgrees) {
+  workload::QueryGen gen(data(), 8);
+  const auto queries = gen.batch(rtree::QueryKind::Route, 8);
+  SessionConfig cfg = base_config();
+  cfg.scheme = Scheme::FilterClientRefineServer;
+  const std::uint64_t expected = Session::run_batch(data(), cfg, queries).answers;
+
+  PipelinedSession pipe(data(), cfg, {128});
+  for (const auto& q : queries) pipe.run_query(q);
+  EXPECT_EQ(pipe.outcome().answers, expected);
+}
+
+TEST(RouteWorkload, WalksStayInExtent) {
+  workload::QueryGen gen(data(), 9);
+  for (int i = 0; i < 20; ++i) {
+    const rtree::RouteQuery q = gen.route_query(10, 0.05);
+    ASSERT_GE(q.waypoints.size(), 2u);
+    for (const geom::Point& p : q.waypoints) {
+      EXPECT_TRUE(data().extent.contains(p));
+    }
+  }
+}
+
+TEST(RouteSession, SelectivityBetweenPointAndRange) {
+  // A driving route crosses tens of streets: more than a point query,
+  // fewer than a 1%-window magnification.
+  workload::QueryGen gen(data(), 10);
+  const auto routes = gen.batch(rtree::QueryKind::Route, 20);
+  const auto points = gen.batch(rtree::QueryKind::Point, 20);
+  const auto ranges = gen.batch(rtree::QueryKind::Range, 20);
+  const auto cfg = base_config();
+  const std::uint64_t ar = Session::run_batch(data(), cfg, routes).answers;
+  const std::uint64_t ap = Session::run_batch(data(), cfg, points).answers;
+  const std::uint64_t aw = Session::run_batch(data(), cfg, ranges).answers;
+  EXPECT_GT(ar, ap);
+  EXPECT_LT(ar, aw);
+}
+
+}  // namespace
+}  // namespace mosaiq::core

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "sim/server_cpu.hpp"
+
+namespace mosaiq::sim {
+namespace {
+
+namespace simaddr = rtree::simaddr;
+
+ServerConfig disk_config(std::uint64_t bc_bytes) {
+  ServerConfig cfg;
+  cfg.disk_backed = true;
+  cfg.buffer_cache_bytes = bc_bytes;
+  return cfg;
+}
+
+TEST(DiskConfig, LatencyFormulas) {
+  const DiskConfig d;
+  EXPECT_NEAR(d.sequential_page_s(8192), 8192.0 / 30e6, 1e-12);
+  EXPECT_NEAR(d.random_page_s(8192), 8e-3 + 4e-3 + 8192.0 / 30e6, 1e-12);
+  EXPECT_GT(d.random_page_s(8192), 40.0 * d.sequential_page_s(8192));
+}
+
+TEST(ServerIo, InMemoryServerHasNoDiskTime) {
+  ServerCpu cpu{ServerConfig{}};
+  for (std::uint64_t a = 0; a < 1 << 20; a += 64) cpu.read(simaddr::kDataBase + a, 4);
+  EXPECT_DOUBLE_EQ(cpu.disk_seconds(), 0.0);
+  EXPECT_EQ(cpu.buffer_cache_misses(), 0u);
+}
+
+TEST(ServerIo, ColdReadsMissOncePerPage) {
+  ServerCpu cpu{disk_config(64ull << 20)};
+  const std::uint32_t page = ServerConfig{}.io_page_bytes;
+  for (std::uint64_t a = 0; a < 32ull * page; a += 64) cpu.read(simaddr::kDataBase + a, 4);
+  EXPECT_EQ(cpu.buffer_cache_misses(), 32u);
+  // Sequential pattern: first page random, rest sequential transfers.
+  const DiskConfig d;
+  EXPECT_NEAR(cpu.disk_seconds(), d.random_page_s(page) + 31 * d.sequential_page_s(page),
+              1e-9);
+}
+
+TEST(ServerIo, WarmReadsHitTheBufferCache) {
+  ServerCpu cpu{disk_config(64ull << 20)};
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < 1 << 20; a += 64) cpu.read(simaddr::kDataBase + a, 4);
+  }
+  EXPECT_EQ(cpu.buffer_cache_misses(), (1u << 20) / ServerConfig{}.io_page_bytes);
+}
+
+TEST(ServerIo, ThrashingSmallCachePaysRandomSeeks) {
+  // Working set 8x the buffer cache, random-ish stride: every revisit
+  // misses and pays a full seek.
+  const std::uint64_t bc = 1ull << 20;
+  ServerCpu cpu{disk_config(bc)};
+  const std::uint32_t page = ServerConfig{}.io_page_bytes;
+  const std::uint64_t pages = 8 * bc / page;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t p = 0; p < pages; p += 3) {  // stride breaks sequentiality
+      cpu.read(simaddr::kDataBase + p * page, 4);
+    }
+  }
+  const DiskConfig d;
+  EXPECT_GT(cpu.disk_seconds(),
+            static_cast<double>(cpu.buffer_cache_misses()) * 0.9 * d.random_page_s(page));
+  EXPECT_GT(cpu.buffer_cache_misses(), pages / 3);  // second pass missed too
+}
+
+TEST(ServerIo, DiskTimeDominatesCycles) {
+  ServerCpu cpu{disk_config(1ull << 20)};
+  cpu.read(simaddr::kDataBase, 4);                      // one random page: ~12ms
+  cpu.read(simaddr::kDataBase + (100ull << 20), 4);     // another seek
+  const double disk_cycles = cpu.disk_seconds() * cpu.config().clock_hz();
+  EXPECT_GT(static_cast<double>(cpu.cycles()), disk_cycles * 0.99);
+  EXPECT_GT(disk_cycles, 2e7);  // two random accesses ~24ms at 1 GHz
+}
+
+}  // namespace
+}  // namespace mosaiq::sim

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "geom/predicates.hpp"
+#include "rtree/shipment.hpp"
+
+namespace mosaiq::rtree {
+namespace {
+
+std::vector<geom::Segment> random_segments(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::uniform_real_distribution<double> len(-0.008, 0.008);
+  std::vector<geom::Segment> segs;
+  segs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Point a{u(rng), u(rng)};
+    segs.push_back({a, {a.x + len(rng), a.y + len(rng)}});
+  }
+  return segs;
+}
+
+std::vector<std::uint32_t> brute_range_ids(const SegmentStore& store, const geom::Rect& w) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < store.size(); ++i) {
+    if (geom::segment_intersects_rect(store.segment(i), w)) out.push_back(store.id(i));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct MasterFixture {
+  MasterFixture() {
+    auto segs = random_segments(20000, 42);
+    std::vector<std::uint32_t> ids(segs.size());
+    std::iota(ids.begin(), ids.end(), 0u);
+    hilbert_sort(segs, ids);
+    store = SegmentStore(std::move(segs), ids);
+    tree = PackedRTree::build(store, SortOrder::PreSorted);
+  }
+  SegmentStore store;
+  PackedRTree tree;
+};
+
+MasterFixture& master() {
+  static MasterFixture m;
+  return m;
+}
+
+TEST(ShipmentBytes, Formula) {
+  EXPECT_EQ(shipment_bytes(0), 0u);
+  EXPECT_EQ(shipment_bytes(1), kRecordBytes + kNodeBytes);
+  EXPECT_EQ(shipment_bytes(25), 25u * kRecordBytes + kNodeBytes);
+  EXPECT_EQ(shipment_bytes(26), 26u * kRecordBytes + 3u * kNodeBytes);
+}
+
+class ShipmentPolicy : public ::testing::TestWithParam<ShipPolicy> {};
+
+TEST_P(ShipmentPolicy, RespectsBudget) {
+  auto& m = master();
+  const geom::Rect q{{0.48, 0.48}, {0.52, 0.52}};
+  for (const std::uint64_t budget : {256u * 1024u, 1024u * 1024u, 2048u * 1024u}) {
+    const Shipment s =
+        extract_shipment(m.tree, m.store, q, {budget}, GetParam(), null_hooks());
+    EXPECT_LE(s.total_wire_bytes(), budget) << "budget " << budget;
+    EXPECT_FALSE(s.segments.empty());
+    EXPECT_EQ(s.node_count, packed_node_count(s.segments.size()));
+    // Bigger budget ships at least as much.
+  }
+  const Shipment small =
+      extract_shipment(m.tree, m.store, q, {256 * 1024}, GetParam(), null_hooks());
+  const Shipment big =
+      extract_shipment(m.tree, m.store, q, {2048 * 1024}, GetParam(), null_hooks());
+  EXPECT_GT(big.segments.size(), small.segments.size());
+}
+
+TEST_P(ShipmentPolicy, SafeRectCoversQueryWindow) {
+  auto& m = master();
+  const geom::Rect q{{0.3, 0.6}, {0.34, 0.63}};
+  const Shipment s =
+      extract_shipment(m.tree, m.store, q, {1024 * 1024}, GetParam(), null_hooks());
+  EXPECT_TRUE(s.safe_rect.contains(q));
+}
+
+TEST_P(ShipmentPolicy, AnswersInsideSafeRectMatchMaster) {
+  // The correctness contract: any range query fully inside safe_rect,
+  // answered against the shipped store+tree, returns exactly the master
+  // answer set.
+  auto& m = master();
+  const geom::Rect q{{0.45, 0.45}, {0.5, 0.5}};
+  const Shipment s =
+      extract_shipment(m.tree, m.store, q, {1024 * 1024}, GetParam(), null_hooks());
+
+  SegmentStore shipped_store(s.segments, s.ids);
+  const PackedRTree shipped_tree = PackedRTree::build(shipped_store, SortOrder::PreSorted);
+  ASSERT_TRUE(shipped_tree.validate(shipped_store));
+
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> uw(0.002, 0.03);
+  std::uniform_real_distribution<double> ux(s.safe_rect.lo.x, s.safe_rect.hi.x);
+  std::uniform_real_distribution<double> uy(s.safe_rect.lo.y, s.safe_rect.hi.y);
+  int tested = 0;
+  for (int k = 0; k < 200 && tested < 40; ++k) {
+    geom::Rect w{{ux(rng), uy(rng)}, {0, 0}};
+    w.hi = {w.lo.x + uw(rng), w.lo.y + uw(rng)};
+    if (!s.safe_rect.contains(w)) continue;
+    ++tested;
+
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> local;
+    shipped_tree.filter_range(w, null_hooks(), cand);
+    refine_range(shipped_store, w, cand, null_hooks(), local);
+    std::sort(local.begin(), local.end());
+    EXPECT_EQ(local, brute_range_ids(m.store, w)) << "policy " << static_cast<int>(GetParam());
+  }
+  EXPECT_GE(tested, 10);
+}
+
+TEST_P(ShipmentPolicy, TriggeringQueryAlwaysAnswerable) {
+  // Even with a budget too small for any margin, the triggering query's
+  // own answer set must be shipped.
+  auto& m = master();
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> u(0.1, 0.9);
+  for (int k = 0; k < 10; ++k) {
+    const geom::Point c{u(rng), u(rng)};
+    const geom::Rect q{{c.x - 0.02, c.y - 0.02}, {c.x + 0.02, c.y + 0.02}};
+    const Shipment s =
+        extract_shipment(m.tree, m.store, q, {96 * 1024}, GetParam(), null_hooks());
+    SegmentStore shipped_store(s.segments, s.ids);
+    const PackedRTree shipped_tree = PackedRTree::build(shipped_store, SortOrder::PreSorted);
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> local;
+    shipped_tree.filter_range(q, null_hooks(), cand);
+    refine_range(shipped_store, q, cand, null_hooks(), local);
+    std::sort(local.begin(), local.end());
+    EXPECT_EQ(local, brute_range_ids(m.store, q));
+  }
+}
+
+TEST_P(ShipmentPolicy, ChargesServerWork) {
+  auto& m = master();
+  CountingHooks hooks;
+  const geom::Rect q{{0.4, 0.4}, {0.45, 0.45}};
+  const Shipment s = extract_shipment(m.tree, m.store, q, {512 * 1024}, GetParam(), hooks);
+  EXPECT_GT(hooks.mix().total(), 0u);
+  // The server at least reads every shipped record once to serialize it.
+  EXPECT_GE(hooks.bytes_read(), s.segments.size() * std::uint64_t{kRecordBytes});
+  // And writes the sub-index node images.
+  EXPECT_GE(hooks.bytes_written(), s.node_count * std::uint64_t{kNodeBytes});
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ShipmentPolicy,
+                         ::testing::Values(ShipPolicy::WindowExpand, ShipPolicy::HilbertRange));
+
+TEST(Shipment, WholeDatasetFitsHugeBudget) {
+  auto& m = master();
+  const geom::Rect q{{0.5, 0.5}, {0.51, 0.51}};
+  const Shipment s = extract_shipment(m.tree, m.store, q, {1ull << 30},
+                                      ShipPolicy::WindowExpand, null_hooks());
+  EXPECT_EQ(s.segments.size(), m.store.size());
+}
+
+TEST(Shipment, HilbertRangeShipsSpatiallyCompactSet) {
+  auto& m = master();
+  const geom::Rect q{{0.52, 0.52}, {0.54, 0.54}};
+  const Shipment s = extract_shipment(m.tree, m.store, q, {256 * 1024},
+                                      ShipPolicy::HilbertRange, null_hooks());
+  ASSERT_FALSE(s.segments.empty());
+  // The shipped set sits around the query region: its bounding box is a
+  // small fraction of the full extent (Hilbert contiguity => spatially
+  // compact), and it contains the query window.
+  geom::Rect cover = geom::Rect::empty();
+  for (const auto& seg : s.segments) cover.expand(seg.mbr());
+  EXPECT_TRUE(cover.intersects(q));
+  EXPECT_LT(cover.area(), m.store.extent().area() * 0.5);
+}
+
+}  // namespace
+}  // namespace mosaiq::rtree

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "rtree/exec.hpp"
+#include "sim/client_cpu.hpp"
+#include "sim/server_cpu.hpp"
+
+namespace mosaiq::sim {
+namespace {
+
+using rtree::InstrMix;
+namespace simaddr = rtree::simaddr;
+
+TEST(ClientCpu, OneCyclePerInstruction) {
+  ClientCpu cpu{ClientConfig{}};
+  cpu.instr(InstrMix{100, 20, 30});
+  EXPECT_EQ(cpu.instructions(), 150u);
+  // Cycles = instructions + I-cache cold-miss stalls (cold code region).
+  EXPECT_GE(cpu.busy_cycles(), 150u);
+  EXPECT_EQ(cpu.busy_cycles() - cpu.stall_cycles(), 150u);
+}
+
+TEST(ClientCpu, ReadCountsWordLoads) {
+  ClientCpu cpu{ClientConfig{}};
+  cpu.read(simaddr::kDataBase, 76);
+  EXPECT_EQ(cpu.instructions(), 19u);  // ceil(76/4)
+  EXPECT_GE(cpu.dcache_stats().misses, 1u);
+  EXPECT_LE(cpu.dcache_stats().misses, 4u);  // 76 B span at most 4 x 32 B lines
+}
+
+TEST(ClientCpu, CacheMissesStall) {
+  ClientConfig cfg;
+  ClientCpu cpu{cfg};
+  // Two reads of the same line: first misses (+100 cycles), second hits.
+  cpu.read(simaddr::kDataBase, 4);
+  const std::uint64_t after_miss = cpu.busy_cycles();
+  cpu.read(simaddr::kDataBase, 4);
+  const std::uint64_t after_hit = cpu.busy_cycles();
+  EXPECT_GE(after_miss, cfg.mem_latency_cycles);
+  EXPECT_LT(after_hit - after_miss, cfg.mem_latency_cycles);
+}
+
+TEST(ClientCpu, EnergyAccumulatesPerComponent) {
+  ClientCpu cpu{ClientConfig{}};
+  cpu.instr(InstrMix{1000, 100, 200});
+  cpu.read(simaddr::kDataBase, 1024);
+  cpu.write(simaddr::kScratchBase, 256);
+  const EnergyBreakdown& e = cpu.energy();
+  EXPECT_GT(e.datapath_j, 0.0);
+  EXPECT_GT(e.clock_j, 0.0);
+  EXPECT_GT(e.icache_j, 0.0);
+  EXPECT_GT(e.dcache_j, 0.0);
+  EXPECT_GT(e.dram_j, 0.0);  // cold misses
+  EXPECT_GT(e.bus_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.idle_j, 0.0);
+  EXPECT_NEAR(e.total_j(),
+              e.datapath_j + e.clock_j + e.icache_j + e.dcache_j + e.bus_j + e.dram_j, 1e-18);
+}
+
+TEST(ClientCpu, MulCostsMoreThanAlu) {
+  ClientCpu a{ClientConfig{}};
+  ClientCpu b{ClientConfig{}};
+  a.instr(InstrMix{1000, 0, 0});
+  b.instr(InstrMix{0, 1000, 0});
+  EXPECT_LT(a.energy().datapath_j, b.energy().datapath_j);
+  EXPECT_EQ(a.busy_cycles(), b.busy_cycles());  // timing identical
+}
+
+TEST(ClientCpu, ICacheWarmsUp) {
+  ClientCpu cpu{ClientConfig{}};
+  cpu.instr(InstrMix{100000, 0, 0});
+  // After the footprint is resident everything hits: the overall miss
+  // count is bounded by footprint/line.
+  const CacheStats& ic = cpu.icache_stats();
+  EXPECT_LE(ic.misses, ClientConfig{}.code_footprint_bytes / 32);
+}
+
+TEST(ClientCpu, ClientPowerIsInPaperRegime) {
+  // The energy balance of the paper requires the client CPU to draw well
+  // below the NIC's 100 mW idle power while active.
+  ClientCpu cpu{client_at_ratio(1.0 / 8.0)};
+  for (int i = 0; i < 100; ++i) {
+    cpu.instr(InstrMix{800, 100, 200});
+    cpu.read(simaddr::kDataBase + (i % 64) * 1024, 256);
+  }
+  const double p = cpu.average_active_power_w();
+  EXPECT_GT(p, 0.02);
+  EXPECT_LT(p, 0.25);
+}
+
+TEST(ClientCpu, WaitPolicyEnergyOrdering) {
+  const double wait_s = 0.05;
+  ClientCpu poll{ClientConfig{}};
+  ClientCpu block{ClientConfig{}};
+  ClientCpu lowp{ClientConfig{}};
+  poll.wait_seconds(wait_s, WaitPolicy::BusyPoll);
+  block.wait_seconds(wait_s, WaitPolicy::Block);
+  lowp.wait_seconds(wait_s, WaitPolicy::BlockLowPower);
+  const double ep = poll.energy().total_j();
+  const double eb = block.energy().total_j();
+  const double el = lowp.energy().total_j();
+  EXPECT_GT(ep, eb);
+  EXPECT_GT(eb, el);
+  // Section 5.2: blocking cuts the receive-phase energy by more than
+  // half relative to polling.
+  EXPECT_GT(ep, 2.0 * eb);
+  EXPECT_GT(el, 0.0);
+}
+
+TEST(ClientCpu, BusyPollExercisesCaches) {
+  ClientCpu poll{ClientConfig{}};
+  poll.wait_seconds(0.01, WaitPolicy::BusyPoll);
+  EXPECT_GT(poll.icache_stats().accesses + poll.instructions(), 0u);
+  EXPECT_GT(poll.energy().icache_j, 0.0);  // "keeps hitting the I-cache"
+  EXPECT_GT(poll.energy().dcache_j, 0.0);
+}
+
+TEST(ClientCpu, ClockRatioHelper) {
+  const ClientConfig c8 = client_at_ratio(1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(c8.clock_mhz, 125.0);
+  const ClientConfig c2 = client_at_ratio(0.5);
+  EXPECT_DOUBLE_EQ(c2.clock_mhz, 500.0);
+}
+
+// --- server ------------------------------------------------------------
+
+TEST(ServerCpu, IssueWidthDividesCycles) {
+  ServerCpu cpu{ServerConfig{}};
+  cpu.instr(InstrMix{4000, 0, 0});
+  EXPECT_EQ(cpu.cycles(), 1000u);
+}
+
+TEST(ServerCpu, MemoryStallsAreDiscounted) {
+  ServerConfig cfg;
+  ServerCpu cpu{cfg};
+  // One cold L1+L2 miss: stall = l2_hit + mem, discounted by overlap.
+  cpu.read(simaddr::kDataBase, 4);
+  const double raw_stall = cfg.l2_hit_cycles + cfg.mem_latency_cycles + cfg.tlb_miss_cycles;
+  EXPECT_LE(cpu.cycles(), static_cast<std::uint64_t>(raw_stall) + 1);
+  EXPECT_GE(cpu.cycles(), static_cast<std::uint64_t>(raw_stall * (1.0 - cfg.stall_overlap)));
+}
+
+TEST(ServerCpu, L2CatchesL1Misses) {
+  ServerConfig cfg;
+  ServerCpu cpu{cfg};
+  // Touch 64 KB (doesn't fit 32 KB L1, fits 1 MB L2) twice.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 64) cpu.read(simaddr::kDataBase + a, 4);
+  }
+  EXPECT_GT(cpu.l1d_stats().misses, 1024u);     // second pass still misses L1
+  EXPECT_EQ(cpu.l2_stats().misses, 512u);       // but L2 (128 B lines) only misses cold
+}
+
+TEST(ServerCpu, TlbMissesCounted) {
+  ServerConfig cfg;
+  ServerCpu cpu{cfg};
+  // Touch more pages than TLB entries, twice, with LRU-hostile stride.
+  const std::uint32_t pages = cfg.tlb_entries + 8;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint32_t p = 0; p < pages; ++p) {
+      cpu.read(simaddr::kDataBase + std::uint64_t{p} * cfg.page_bytes, 4);
+    }
+  }
+  EXPECT_GE(cpu.tlb_misses(), pages);  // cyclic sweep defeats LRU
+}
+
+TEST(ServerCpu, MuchFasterThanClientOnSameWork) {
+  // The premise of offloading: identical work, ~order-of-magnitude
+  // fewer wall-clock seconds on the server (4-issue + 8x clock).
+  ClientCpu client{client_at_ratio(1.0 / 8.0)};
+  ServerCpu server{ServerConfig{}};
+  for (int i = 0; i < 200; ++i) {
+    const InstrMix mix{2000, 200, 400};
+    client.instr(mix);
+    server.instr(mix);
+    client.read(simaddr::kDataBase + (i % 100) * 76, 32);
+    server.read(simaddr::kDataBase + (i % 100) * 76, 32);
+  }
+  EXPECT_GT(client.busy_seconds(), 10.0 * server.seconds());
+}
+
+}  // namespace
+}  // namespace mosaiq::sim

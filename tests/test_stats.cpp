@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/session.hpp"
+#include "stats/recorder.hpp"
+#include "stats/table.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::stats {
+namespace {
+
+TEST(Formatters, Numbers) {
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_fixed(-0.5, 0), "-0");  // iostreams rounding of -0.5 at 0 digits
+  EXPECT_EQ(fmt_joules(0.12345), "0.1235");  // round-half-up at 4 digits
+  EXPECT_EQ(fmt_pct(0.1234), "12.3%");
+  EXPECT_EQ(fmt_cycles(1234567), "1.235e+06");
+}
+
+TEST(Formatters, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512B");
+  EXPECT_EQ(fmt_bytes(2048), "2.0KB");
+  EXPECT_EQ(fmt_bytes(3 << 20), "3.00MB");
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  // Header present, separator line, both rows, aligned columns.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::istringstream lines(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_LE(line.size(), width + 1);
+  }
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.row({"only-one"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly-one,,\n");
+}
+
+TEST(Recorder, DeltasAndAggregates) {
+  const workload::Dataset d = workload::make_pa(10000);
+  core::SessionConfig cfg;
+  cfg.scheme = core::Scheme::FullyAtServer;
+  cfg.channel = {4.0, 1000.0};
+  cfg.client = sim::client_at_ratio(1.0 / 8.0);
+  core::Session s(d, cfg);
+  workload::QueryGen gen(d, 3);
+
+  Recorder rec;
+  Outcome prev = s.outcome();
+  for (int i = 0; i < 5; ++i) {
+    s.run_query(gen.range_query());
+    const Outcome now = s.outcome();
+    rec.record("q" + std::to_string(i), prev, now);
+    prev = now;
+  }
+
+  ASSERT_EQ(rec.records().size(), 5u);
+  for (const QueryRecord& r : rec.records()) {
+    EXPECT_GT(r.energy_j, 0.0);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.bytes_tx, 0u);
+  }
+  // Totals equal the session's cumulative outcome.
+  const QueryRecord t = rec.totals();
+  EXPECT_NEAR(t.energy_j, prev.energy.total_j(), 1e-9);
+  EXPECT_EQ(t.bytes_tx, prev.bytes_tx);
+  EXPECT_EQ(t.answers, prev.answers);
+  // Mean is total / n.
+  EXPECT_NEAR(rec.mean().energy_j, t.energy_j / 5.0, 1e-12);
+
+  std::ostringstream os;
+  rec.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("index,label,energy_j"), std::string::npos);
+  EXPECT_NE(csv.find("q4"), std::string::npos);
+  // Header + 5 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+}
+
+TEST(Recorder, EmptyIsSane) {
+  Recorder rec;
+  EXPECT_TRUE(rec.empty());
+  EXPECT_DOUBLE_EQ(rec.totals().energy_j, 0.0);
+  std::ostringstream os;
+  rec.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1);  // header only
+}
+
+}  // namespace
+}  // namespace mosaiq::stats

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "workload/tiger.hpp"
+
+namespace mosaiq::workload {
+namespace {
+
+TEST(TigerRt1, FormatParseRoundTrip) {
+  TigerRecord rec;
+  rec.tlid = 12345678;
+  rec.seg = {{-77.123456, 39.987654}, {-77.120001, 39.990002}};
+  const std::string line = format_rt1_line(rec);
+  ASSERT_EQ(line.size(), 228u);
+  EXPECT_EQ(line[0], '1');
+
+  TigerRecord back;
+  ASSERT_TRUE(parse_rt1_line(line, back));
+  EXPECT_EQ(back.tlid, rec.tlid);
+  EXPECT_NEAR(back.seg.a.x, rec.seg.a.x, 1e-6);
+  EXPECT_NEAR(back.seg.a.y, rec.seg.a.y, 1e-6);
+  EXPECT_NEAR(back.seg.b.x, rec.seg.b.x, 1e-6);
+  EXPECT_NEAR(back.seg.b.y, rec.seg.b.y, 1e-6);
+}
+
+TEST(TigerRt1, RejectsMalformedLines) {
+  TigerRecord rec;
+  EXPECT_FALSE(parse_rt1_line("", rec));
+  EXPECT_FALSE(parse_rt1_line("2 not an rt1 line", rec));
+  EXPECT_FALSE(parse_rt1_line("1 too short", rec));
+  // Non-numeric coordinate field.
+  std::string bad = format_rt1_line({77, {{-77.0, 39.0}, {-77.1, 39.1}}});
+  bad[195] = 'x';
+  EXPECT_FALSE(parse_rt1_line(bad, rec));
+  // Latitude out of range.
+  std::string out_of_range = format_rt1_line({77, {{-77.0, 91.0}, {-77.1, 39.1}}});
+  EXPECT_FALSE(parse_rt1_line(out_of_range, rec));
+}
+
+TEST(TigerRt1, StreamParsingSkipsOtherRecordTypes) {
+  std::ostringstream file;
+  file << format_rt1_line({1, {{-77.0, 39.0}, {-77.01, 39.01}}}) << "\n";
+  file << "2" << std::string(227, ' ') << "\n";  // RT2 (shape points): skipped
+  file << format_rt1_line({2, {{-77.02, 39.02}, {-77.03, 39.03}}}) << "\r\n";  // CRLF ok
+  file << "\n";  // blank line ignored
+  file << "1 malformed\n";
+
+  std::istringstream in(file.str());
+  TigerParseStats stats;
+  const auto records = parse_rt1(in, &stats);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].tlid, 1u);
+  EXPECT_EQ(records[1].tlid, 2u);
+  EXPECT_EQ(stats.lines, 4u);
+  EXPECT_EQ(stats.parsed, 2u);
+  EXPECT_EQ(stats.skipped_other_types, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(TigerRt1, FuzzNeverCrashes) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<int> len(0, 300);
+  std::uniform_int_distribution<int> ch(32, 126);
+  TigerRecord rec;
+  for (int i = 0; i < 3000; ++i) {
+    std::string line(static_cast<std::size_t>(len(rng)), ' ');
+    for (auto& c : line) c = static_cast<char>(ch(rng));
+    if (!line.empty()) line[0] = '1';  // force the RT1 path
+    (void)parse_rt1_line(line, rec);
+  }
+}
+
+TEST(TigerRt1, DatasetConstruction) {
+  // A little synthetic "county": a grid of streets in real-world
+  // coordinates, round-tripped through the RT1 format.
+  std::ostringstream file;
+  std::uint32_t tlid = 1000;
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      const double x = -77.5 + 0.01 * i;
+      const double y = 39.0 + 0.01 * j;
+      file << format_rt1_line({tlid++, {{x, y}, {x + 0.009, y}}}) << "\n";
+      file << format_rt1_line({tlid++, {{x, y}, {x, y + 0.009}}}) << "\n";
+    }
+  }
+  std::istringstream in(file.str());
+  const auto records = parse_rt1(in);
+  ASSERT_EQ(records.size(), 800u);
+
+  const Dataset d = dataset_from_tiger(records, "grid-county");
+  EXPECT_EQ(d.store.size(), 800u);
+  EXPECT_TRUE(d.tree.validate(d.store));
+  // Normalized into the unit square.
+  EXPECT_GE(d.extent.lo.x, -1e-9);
+  EXPECT_LE(d.extent.hi.x, 1.0 + 1e-9);
+  EXPECT_LE(d.extent.hi.y, 1.0 + 1e-9);
+  // TLIDs preserved as external ids.
+  bool found_tlid = false;
+  for (std::uint32_t i = 0; i < d.store.size(); ++i) {
+    if (d.store.id(i) == 1000u) found_tlid = true;
+  }
+  EXPECT_TRUE(found_tlid);
+  // And it answers queries.
+  std::vector<std::uint32_t> cand;
+  d.tree.filter_range({{0.2, 0.2}, {0.4, 0.4}}, rtree::null_hooks(), cand);
+  EXPECT_FALSE(cand.empty());
+}
+
+}  // namespace
+}  // namespace mosaiq::workload

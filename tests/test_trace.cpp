@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/query_gen.hpp"
+#include "workload/trace.hpp"
+
+namespace mosaiq::workload {
+namespace {
+
+TEST(Trace, RoundTripAllKinds) {
+  const Dataset d = make_pa(3000);
+  QueryGen gen(d, 5);
+  std::vector<rtree::Query> queries;
+  for (const auto kind : {rtree::QueryKind::Point, rtree::QueryKind::Range,
+                          rtree::QueryKind::NN, rtree::QueryKind::Knn,
+                          rtree::QueryKind::Route}) {
+    const auto batch = gen.batch(kind, 5);
+    queries.insert(queries.end(), batch.begin(), batch.end());
+  }
+
+  std::stringstream buf;
+  save_trace(queries, buf);
+  const auto back = load_trace(buf);
+  ASSERT_EQ(back.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(back[i].index(), queries[i].index()) << "query " << i;
+  }
+  // Exact coordinate round trip (printed with max precision).
+  const auto& rq = std::get<rtree::RangeQuery>(queries[5]);
+  const auto& brq = std::get<rtree::RangeQuery>(back[5]);
+  EXPECT_EQ(brq.window, rq.window);
+  const auto& kq = std::get<rtree::KnnQuery>(queries[15]);
+  const auto& bkq = std::get<rtree::KnnQuery>(back[15]);
+  EXPECT_EQ(bkq.k, kq.k);
+  const auto& route = std::get<rtree::RouteQuery>(queries[20]);
+  const auto& broute = std::get<rtree::RouteQuery>(back[20]);
+  ASSERT_EQ(broute.waypoints.size(), route.waypoints.size());
+  EXPECT_EQ(broute.waypoints.back(), route.waypoints.back());
+}
+
+TEST(Trace, CommentsAndBlanksIgnored) {
+  std::stringstream buf("# header\n\nP 0.5 0.5\n# tail\n");
+  const auto qs = load_trace(buf);
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_EQ(rtree::kind_of(qs[0]), rtree::QueryKind::Point);
+}
+
+TEST(Trace, MalformedLinesThrowWithLineNumber) {
+  for (const char* bad :
+       {"X 1 2\n", "P 1\n", "W 1 2 3\n", "K 1 2\n", "R 1 0.5 0.5\n", "R 3 0.1 0.2\n"}) {
+    std::stringstream buf(std::string("# ok\n") + bad);
+    try {
+      load_trace(buf);
+      FAIL() << "expected throw for: " << bad;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << bad;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mosaiq::workload

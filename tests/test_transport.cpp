@@ -1,0 +1,155 @@
+// Cross-cutting conservation and consistency invariants of the Session/
+// Transport accounting, checked over every scheme and query kind.
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "model/analytic.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::core {
+namespace {
+
+const workload::Dataset& data() {
+  static workload::Dataset d = workload::make_pa(20000);
+  return d;
+}
+
+SessionConfig config(Scheme s, double mbps = 4.0, bool at_client = true) {
+  SessionConfig cfg;
+  cfg.scheme = s;
+  cfg.placement.data_at_client = at_client;
+  cfg.channel = {mbps, 1000.0};
+  cfg.client = sim::client_at_ratio(1.0 / 8.0);
+  return cfg;
+}
+
+struct Case {
+  Scheme scheme;
+  rtree::QueryKind kind;
+  bool data_at_client;
+};
+
+class TransportInvariants : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TransportInvariants, ConservationHolds) {
+  const Case c = GetParam();
+  workload::QueryGen gen(data(), 13);
+  const auto queries = gen.batch(c.kind, 8);
+
+  Session s(data(), config(c.scheme, 4.0, c.data_at_client));
+  for (const auto& q : queries) s.run_query(q);
+  const stats::Outcome o = s.outcome();
+
+  // Energy: the profile total equals the sum of its parts, and the
+  // processor detail breakdown sums to the processor term.
+  const auto& e = o.energy;
+  EXPECT_NEAR(e.total_j(),
+              e.processor_j + e.nic_tx_j + e.nic_rx_j + e.nic_idle_j + e.nic_sleep_j, 1e-12);
+  const auto& d = o.processor_detail;
+  EXPECT_NEAR(e.processor_j,
+              d.datapath_j + d.clock_j + d.icache_j + d.dcache_j + d.bus_j + d.dram_j +
+                  d.idle_j,
+              1e-12);
+
+  // Cycles: the total equals the sum of its components.
+  EXPECT_EQ(o.cycles.total(),
+            o.cycles.processor + o.cycles.nic_tx + o.cycles.nic_rx + o.cycles.wait);
+
+  // Time: wall covers the client's busy time; NIC cycle components match
+  // the NIC state seconds at the client clock (within rounding).
+  EXPECT_GE(o.wall_seconds + 1e-9, s.client_cpu().busy_seconds());
+  const double client_hz = s.config().client.clock_hz();
+  EXPECT_NEAR(static_cast<double>(o.cycles.nic_tx),
+              s.nic().seconds_in(net::NicState::Transmit) * client_hz, 8.0 * queries.size());
+  EXPECT_NEAR(static_cast<double>(o.cycles.nic_rx),
+              s.nic().seconds_in(net::NicState::Receive) * client_hz, 8.0 * queries.size());
+
+  // Wire accounting: remote schemes move bytes in both directions, one
+  // round trip per query; the local scheme moves none.
+  if (c.scheme == Scheme::FullyAtClient) {
+    EXPECT_EQ(o.bytes_tx + o.bytes_rx, 0u);
+    EXPECT_EQ(o.round_trips, 0u);
+    EXPECT_EQ(o.server_cycles, 0u);
+  } else {
+    EXPECT_EQ(o.round_trips, queries.size());
+    EXPECT_GT(o.bytes_tx, 0u);
+    EXPECT_GT(o.bytes_rx, 0u);
+    EXPECT_GT(o.server_cycles, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TransportInvariants,
+    ::testing::Values(Case{Scheme::FullyAtClient, rtree::QueryKind::Point, true},
+                      Case{Scheme::FullyAtClient, rtree::QueryKind::Range, true},
+                      Case{Scheme::FullyAtClient, rtree::QueryKind::NN, true},
+                      Case{Scheme::FullyAtClient, rtree::QueryKind::Knn, true},
+                      Case{Scheme::FullyAtClient, rtree::QueryKind::Route, true},
+                      Case{Scheme::FullyAtServer, rtree::QueryKind::Point, true},
+                      Case{Scheme::FullyAtServer, rtree::QueryKind::Range, false},
+                      Case{Scheme::FullyAtServer, rtree::QueryKind::NN, true},
+                      Case{Scheme::FullyAtServer, rtree::QueryKind::Knn, false},
+                      Case{Scheme::FullyAtServer, rtree::QueryKind::Route, true},
+                      Case{Scheme::FilterClientRefineServer, rtree::QueryKind::Range, true},
+                      Case{Scheme::FilterClientRefineServer, rtree::QueryKind::Route, false},
+                      Case{Scheme::FilterServerRefineClient, rtree::QueryKind::Range, true},
+                      Case{Scheme::FilterServerRefineClient, rtree::QueryKind::Route, true}));
+
+TEST(TransportModelConsistency, MeasuredTransferCyclesMatchSection41) {
+  // The simulator's NIC cycle components must agree with the paper's
+  // closed-form C_Tx/C_Rx when fed the measured wire sizes.
+  workload::QueryGen gen(data(), 14);
+  const auto queries = gen.batch(rtree::QueryKind::Range, 10);
+  for (const double mbps : {2.0, 8.0}) {
+    Session s(data(), config(Scheme::FullyAtServer, mbps));
+    for (const auto& q : queries) s.run_query(q);
+    const stats::Outcome o = s.outcome();
+
+    model::Params p;
+    p.bandwidth_mbps = mbps;
+    p.client_mhz = 125.0;
+    p.packet_tx_bits = o.bytes_tx * 8;
+    p.packet_rx_bits = o.bytes_rx * 8;
+    // bytes_tx includes the client's own ACKs (transmitted during the
+    // receive phase); C_Tx/C_Rx cover the same split, so totals match.
+    EXPECT_NEAR(static_cast<double>(o.cycles.nic_tx + o.cycles.nic_rx),
+                model::c_tx(p) + model::c_rx(p),
+                0.01 * static_cast<double>(o.cycles.nic_tx + o.cycles.nic_rx));
+  }
+}
+
+TEST(TransportModelConsistency, WaitCyclesMatchServerSeconds) {
+  workload::QueryGen gen(data(), 15);
+  const auto queries = gen.batch(rtree::QueryKind::Range, 10);
+  Session s(data(), config(Scheme::FullyAtServer, 4.0));
+  for (const auto& q : queries) s.run_query(q);
+  const stats::Outcome o = s.outcome();
+
+  model::Params p;
+  p.client_mhz = 125.0;
+  p.server_mhz = 1000.0;
+  p.c_w2 = o.server_cycles;
+  EXPECT_NEAR(static_cast<double>(o.cycles.wait), model::c_wait(p),
+              0.01 * model::c_wait(p) + 10 * queries.size());
+}
+
+TEST(ConfigValidation, RejectsNonPhysicalConfigs) {
+  auto try_cfg = [&](auto mutate) {
+    SessionConfig cfg = config(Scheme::FullyAtServer);
+    mutate(cfg);
+    EXPECT_THROW(Session(data(), cfg), std::invalid_argument);
+  };
+  try_cfg([](SessionConfig& c) { c.channel.bandwidth_mbps = 0; });
+  try_cfg([](SessionConfig& c) { c.channel.bandwidth_mbps = -2; });
+  try_cfg([](SessionConfig& c) { c.channel.distance_m = -1; });
+  try_cfg([](SessionConfig& c) { c.client.clock_mhz = 0; });
+  try_cfg([](SessionConfig& c) { c.server.clock_mhz = -1; });
+  try_cfg([](SessionConfig& c) { c.protocol.mtu_bytes = 40; });
+  // And the boundary-valid case constructs fine.
+  SessionConfig ok = config(Scheme::FullyAtServer);
+  ok.channel.distance_m = 0;  // co-located base station
+  EXPECT_NO_THROW(Session(data(), ok));
+}
+
+}  // namespace
+}  // namespace mosaiq::core

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "workload/dataset.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::workload {
+namespace {
+
+TEST(Dataset, CardinalityMatchesSpec) {
+  const Dataset d = make_pa(5000);
+  EXPECT_EQ(d.store.size(), 5000u);
+  EXPECT_EQ(d.tree.node_count(), rtree::packed_node_count(5000));
+  EXPECT_TRUE(d.tree.validate(d.store));
+}
+
+TEST(Dataset, Deterministic) {
+  const Dataset a = make_pa(2000);
+  const Dataset b = make_pa(2000);
+  ASSERT_EQ(a.store.size(), b.store.size());
+  for (std::uint32_t i = 0; i < a.store.size(); ++i) {
+    EXPECT_EQ(a.store.segment(i), b.store.segment(i));
+    EXPECT_EQ(a.store.id(i), b.store.id(i));
+  }
+}
+
+TEST(Dataset, FootprintsMatchPaperScale) {
+  // Full-size stand-ins must land near the paper's reported sizes:
+  // PA ~10.06 MB data / ~3.5 MB index, NYC smaller.
+  const Dataset pa = make_pa();
+  EXPECT_NEAR(static_cast<double>(pa.data_bytes()) / (1 << 20), 10.06, 0.5);
+  EXPECT_GT(pa.index_bytes(), 2u << 20);
+  EXPECT_LT(pa.index_bytes(), 4u << 20);
+
+  const Dataset nyc = make_nyc();
+  EXPECT_NEAR(static_cast<double>(nyc.data_bytes()) / (1 << 20), 2.81, 0.3);
+  EXPECT_LT(nyc.index_bytes(), pa.index_bytes());
+}
+
+TEST(Dataset, SegmentsAreShortStreets) {
+  const Dataset d = make_pa(10000);
+  double total_len = 0;
+  for (const auto& s : d.store.segments()) {
+    total_len += s.length();
+    EXPECT_LE(s.length(), 0.03);  // no cross-county "streets"
+  }
+  EXPECT_LT(total_len / d.store.size(), 0.01);
+}
+
+TEST(Dataset, UrbanCoresAreDenser) {
+  const DatasetSpec spec = pa_spec(50000);
+  const Dataset d = make_dataset(spec);
+  // Count segments near the heaviest cluster vs an empty-ish corner.
+  const geom::Point core = spec.clusters[1].center;
+  const geom::Rect urban{{core.x - 0.03, core.y - 0.03}, {core.x + 0.03, core.y + 0.03}};
+  const geom::Rect rural{{0.95, 0.45}, {1.0, 0.51}};  // off-cluster band, same area
+  EXPECT_GT(d.tree.count_range(urban), 4 * d.tree.count_range(rural));
+}
+
+TEST(Dataset, NycIsMoreClusteredThanPa) {
+  const Dataset pa = make_pa(30000);
+  const Dataset nyc = make_nyc(30000);
+  // Measure concentration: fraction of segments inside the densest 10%
+  // of the extent around the main core.
+  auto concentration = [](const Dataset& d, const geom::Point& core) {
+    const geom::Rect w{{core.x - 0.16, core.y - 0.16}, {core.x + 0.16, core.y + 0.16}};
+    return static_cast<double>(d.tree.count_range(w)) / static_cast<double>(d.store.size());
+  };
+  EXPECT_GT(concentration(nyc, {0.50, 0.52}), concentration(pa, {0.58, 0.26}));
+}
+
+TEST(QueryGen, PointQueriesHitEndpoints) {
+  const Dataset d = make_pa(3000);
+  QueryGen gen(d, 1);
+  for (int i = 0; i < 50; ++i) {
+    const rtree::PointQuery q = gen.point_query();
+    bool is_endpoint = false;
+    for (const auto& s : d.store.segments()) {
+      if (s.a == q.p || s.b == q.p) {
+        is_endpoint = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(is_endpoint);
+  }
+}
+
+TEST(QueryGen, RangeWindowsRespectPaperDistribution) {
+  const Dataset d = make_pa(3000);
+  QueryGen gen(d, 2);
+  const double extent_area = d.extent.area();
+  for (int i = 0; i < 100; ++i) {
+    const rtree::RangeQuery q = gen.range_query();
+    const double frac = q.window.area() / extent_area;
+    // Clipping at the extent boundary can only shrink windows.
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LE(frac, 1.01e-2);
+    EXPECT_TRUE(d.extent.contains(q.window));
+  }
+}
+
+TEST(QueryGen, NNPointsInsideExtent) {
+  const Dataset d = make_pa(3000);
+  QueryGen gen(d, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(d.extent.contains(gen.nn_query().p));
+  }
+}
+
+TEST(QueryGen, BatchesAreReproducible) {
+  const Dataset d = make_pa(3000);
+  QueryGen g1(d, 9);
+  QueryGen g2(d, 9);
+  const auto b1 = g1.batch(rtree::QueryKind::Range, 20);
+  const auto b2 = g2.batch(rtree::QueryKind::Range, 20);
+  for (std::size_t i = 0; i < b1.size(); ++i) {
+    EXPECT_EQ(std::get<rtree::RangeQuery>(b1[i]).window,
+              std::get<rtree::RangeQuery>(b2[i]).window);
+  }
+}
+
+TEST(ProximityWorkload, BurstStructure) {
+  const Dataset d = make_pa(3000);
+  const auto bursts = make_proximity_workload(d, 4, 10, 0.01, 7);
+  ASSERT_EQ(bursts.size(), 4u);
+  for (const auto& b : bursts) {
+    ASSERT_EQ(b.queries.size(), 11u);  // anchor + 10 follow-ups
+    const geom::Point c = b.queries[0].window.center();
+    for (std::size_t i = 1; i < b.queries.size(); ++i) {
+      const geom::Point fc = b.queries[i].window.center();
+      // Follow-up centers stay near the anchor (jitter + clipping slack).
+      EXPECT_LT(std::abs(fc.x - c.x), 0.08);
+      EXPECT_LT(std::abs(fc.y - c.y), 0.08);
+    }
+  }
+}
+
+TEST(ProximityWorkload, FollowUpAreaBoundsHonored) {
+  const Dataset d = make_pa(3000);
+  const auto bursts = make_proximity_workload(d, 2, 20, 0.005, 11, 1e-5, 1e-4);
+  const double extent_area = d.extent.area();
+  for (const auto& b : bursts) {
+    for (std::size_t i = 1; i < b.queries.size(); ++i) {
+      EXPECT_LE(b.queries[i].window.area() / extent_area, 1.01e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mosaiq::workload

@@ -1,0 +1,346 @@
+// mosaiq — command-line driver for the work-partitioning simulator.
+//
+//   mosaiq dataset --name pa                     dataset/index statistics
+//   mosaiq run --query range --scheme server ... one configuration, one row
+//   mosaiq sweep --query range ...               scheme x bandwidth table
+//   mosaiq advise --bandwidth 4 ...              planner recommendations
+//
+// Every experiment the figure benches run can be reproduced (and varied)
+// from here without recompiling.
+#include <iostream>
+#include <sstream>
+
+#include <fstream>
+
+#include "cli/args.hpp"
+#include "core/adaptive_session.hpp"
+#include "core/fleet.hpp"
+#include "core/session.hpp"
+#include "model/analytic.hpp"
+#include "stats/recorder.hpp"
+#include "stats/table.hpp"
+#include "workload/query_gen.hpp"
+#include "workload/trace.hpp"
+
+using namespace mosaiq;
+
+namespace {
+
+workload::Dataset load_dataset(const std::string& name, std::int64_t segments) {
+  if (name == "pa") {
+    return workload::make_pa(segments > 0 ? static_cast<std::uint32_t>(segments) : 139006);
+  }
+  if (name == "nyc") {
+    return workload::make_nyc(segments > 0 ? static_cast<std::uint32_t>(segments) : 38778);
+  }
+  throw std::invalid_argument("unknown dataset '" + name + "' (expected pa|nyc)");
+}
+
+rtree::QueryKind parse_query_kind(const std::string& s) {
+  if (s == "point") return rtree::QueryKind::Point;
+  if (s == "range") return rtree::QueryKind::Range;
+  if (s == "nn") return rtree::QueryKind::NN;
+  if (s == "knn") return rtree::QueryKind::Knn;
+  if (s == "route") return rtree::QueryKind::Route;
+  throw std::invalid_argument("unknown query kind '" + s +
+                              "' (expected point|range|nn|knn|route)");
+}
+
+core::Scheme parse_scheme(const std::string& s) {
+  if (s == "client") return core::Scheme::FullyAtClient;
+  if (s == "server") return core::Scheme::FullyAtServer;
+  if (s == "filter-client") return core::Scheme::FilterClientRefineServer;
+  if (s == "filter-server") return core::Scheme::FilterServerRefineClient;
+  throw std::invalid_argument("unknown scheme '" + s +
+                              "' (expected client|server|filter-client|filter-server)");
+}
+
+sim::WaitPolicy parse_wait(const std::string& s) {
+  if (s == "poll") return sim::WaitPolicy::BusyPoll;
+  if (s == "block") return sim::WaitPolicy::Block;
+  if (s == "lowpower") return sim::WaitPolicy::BlockLowPower;
+  throw std::invalid_argument("unknown wait policy '" + s + "' (expected poll|block|lowpower)");
+}
+
+void add_common_options(cli::ArgParser& p) {
+  p.option("dataset", "dataset: pa|nyc", "pa")
+      .option("segments", "override dataset cardinality (0 = paper size)", "0")
+      .option("query", "query kind: point|range|nn|knn|route", "range")
+      .option("n", "queries per batch", "100")
+      .option("seed", "workload seed", "42")
+      .option("bandwidth", "wireless bandwidth, Mbps", "4")
+      .option("distance", "client<->base-station distance, m", "1000")
+      .option("ratio", "client/server clock ratio (e.g. 0.125)", "0.125")
+      .option("wait", "CPU wait policy: poll|block|lowpower", "lowpower")
+      .option("workload", "replay queries from a trace file instead of generating", "-")
+      .option("save-workload", "write the generated queries to a trace file", "-")
+      .flag("data-at-server", "dataset NOT replicated at the client")
+      .flag("csv", "emit CSV instead of an aligned table");
+}
+
+core::SessionConfig config_from(const cli::ArgParser& p) {
+  core::SessionConfig cfg;
+  cfg.channel = {p.get_double("bandwidth"), p.get_double("distance")};
+  cfg.client = sim::client_at_ratio(p.get_double("ratio"));
+  cfg.placement.data_at_client = !p.get_flag("data-at-server");
+  cfg.wait_policy = parse_wait(p.get("wait"));
+  return cfg;
+}
+
+std::vector<rtree::Query> workload_from(const cli::ArgParser& p, const workload::Dataset& d) {
+  std::vector<rtree::Query> queries;
+  if (p.get("workload") != "-") {
+    queries = workload::load_trace_file(p.get("workload"));
+  } else {
+    workload::QueryGen gen(d, static_cast<std::uint64_t>(p.get_int("seed")));
+    queries = gen.batch(parse_query_kind(p.get("query")),
+                        static_cast<std::size_t>(p.get_int("n")));
+  }
+  if (p.get("save-workload") != "-") {
+    workload::save_trace_file(queries, p.get("save-workload"));
+  }
+  return queries;
+}
+
+void emit(const stats::Table& t, bool csv) {
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+}
+
+int cmd_dataset(int argc, const char* const* argv) {
+  cli::ArgParser p("mosaiq dataset", "Print dataset and index statistics.");
+  p.option("dataset", "dataset: pa|nyc", "pa")
+      .option("segments", "override dataset cardinality (0 = paper size)", "0");
+  p.parse(argc, argv);
+  const workload::Dataset d = load_dataset(p.get("dataset"), p.get_int("segments"));
+  std::cout << "dataset:  " << d.name << "\n"
+            << "segments: " << d.store.size() << "\n"
+            << "data:     " << stats::fmt_bytes(d.data_bytes()) << "\n"
+            << "index:    " << stats::fmt_bytes(d.index_bytes()) << " ("
+            << d.tree.node_count() << " nodes, height " << d.tree.height() << ")\n"
+            << "extent:   [" << d.extent.lo.x << "," << d.extent.lo.y << "] - ["
+            << d.extent.hi.x << "," << d.extent.hi.y << "]\n";
+  return 0;
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  cli::ArgParser p("mosaiq run", "Run one scheme/configuration and print its profile.");
+  add_common_options(p);
+  p.option("scheme", "client|server|filter-client|filter-server|adaptive", "client")
+      .option("objective", "adaptive objective: energy|latency", "energy")
+      .option("per-query", "write per-query CSV deltas to this path", "-");
+  p.parse(argc, argv);
+
+  const workload::Dataset d = load_dataset(p.get("dataset"), p.get_int("segments"));
+  const auto queries = workload_from(p, d);
+  const core::SessionConfig cfg = config_from(p);
+
+  stats::Recorder recorder;
+  const bool want_per_query = p.get("per-query") != "-";
+
+  stats::Table t(stats::outcome_header());
+  if (p.get("scheme") == "adaptive") {
+    const core::Objective obj = p.get("objective") == "latency" ? core::Objective::Latency
+                                                                : core::Objective::Energy;
+    core::AdaptiveSession s(d, cfg, obj);
+    stats::Outcome prev = s.outcome();
+    for (const auto& q : queries) {
+      s.run_query(q);
+      if (want_per_query) {
+        const stats::Outcome now = s.outcome();
+        recorder.record(name_of(rtree::kind_of(q)), prev, now);
+        prev = now;
+      }
+    }
+    t.row(stats::outcome_row("adaptive(" + p.get("objective") + ")", s.outcome()));
+  } else {
+    core::SessionConfig run_cfg = cfg;
+    run_cfg.scheme = parse_scheme(p.get("scheme"));
+    core::Session s(d, run_cfg);
+    stats::Outcome prev = s.outcome();
+    for (const auto& q : queries) {
+      s.run_query(q);
+      if (want_per_query) {
+        const stats::Outcome now = s.outcome();
+        recorder.record(name_of(rtree::kind_of(q)), prev, now);
+        prev = now;
+      }
+    }
+    t.row(stats::outcome_row(p.get("scheme"), s.outcome()));
+  }
+  emit(t, p.get_flag("csv"));
+  if (want_per_query) {
+    std::ofstream out(p.get("per-query"));
+    if (!out) throw std::runtime_error("cannot open " + p.get("per-query"));
+    recorder.write_csv(out);
+    std::cout << "per-query CSV written to " << p.get("per-query") << "\n";
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  cli::ArgParser p("mosaiq sweep",
+                   "Sweep every Table-1 scheme over a bandwidth list (the figure harness,"
+                   " parameterized).");
+  add_common_options(p);
+  p.option("bandwidths", "comma-separated Mbps list", "2,4,6,8,11")
+      .option("ratios", "comma-separated client/server clock ratios (Figure 8 axis)", "-")
+      .option("distances", "comma-separated distances in m (Figure 9 axis)", "-");
+  p.parse(argc, argv);
+
+  const workload::Dataset d = load_dataset(p.get("dataset"), p.get_int("segments"));
+  const auto queries = workload_from(p, d);
+  const auto qk = parse_query_kind(p.get("query"));
+  const bool hybrids = qk == rtree::QueryKind::Point || qk == rtree::QueryKind::Range ||
+                       qk == rtree::QueryKind::Route;
+
+  auto parse_list = [](const std::string& csv) {
+    std::vector<double> out;
+    std::stringstream ss(csv);
+    for (std::string tok; std::getline(ss, tok, ',');) out.push_back(std::stod(tok));
+    return out;
+  };
+  // The swept axis: ratios and distances override the bandwidth list.
+  enum class Axis { Bandwidth, Ratio, Distance };
+  Axis axis = Axis::Bandwidth;
+  std::vector<double> values = parse_list(p.get("bandwidths"));
+  if (p.get("ratios") != "-") {
+    axis = Axis::Ratio;
+    values = parse_list(p.get("ratios"));
+  } else if (p.get("distances") != "-") {
+    axis = Axis::Distance;
+    values = parse_list(p.get("distances"));
+  }
+
+  stats::Table t(stats::outcome_header());
+  for (const core::Scheme s : {core::Scheme::FullyAtClient, core::Scheme::FullyAtServer,
+                               core::Scheme::FilterClientRefineServer,
+                               core::Scheme::FilterServerRefineClient}) {
+    if (!hybrids && s != core::Scheme::FullyAtClient && s != core::Scheme::FullyAtServer) {
+      continue;
+    }
+    for (const double v : values) {
+      core::SessionConfig cfg = config_from(p);
+      cfg.scheme = s;
+      std::string suffix;
+      switch (axis) {
+        case Axis::Bandwidth:
+          cfg.channel.bandwidth_mbps = v;
+          suffix = " @" + stats::fmt_fixed(v, 0) + "Mbps";
+          break;
+        case Axis::Ratio:
+          cfg.client = sim::client_at_ratio(v);
+          suffix = " C/S=" + stats::fmt_fixed(v, 3);
+          break;
+        case Axis::Distance:
+          cfg.channel.distance_m = v;
+          suffix = " @" + stats::fmt_fixed(v, 0) + "m";
+          break;
+      }
+      t.row(stats::outcome_row(std::string(name_of(s)) + suffix,
+                               core::Session::run_batch(d, cfg, queries)));
+      // Fully-at-client only varies along the ratio axis.
+      if (s == core::Scheme::FullyAtClient && axis != Axis::Ratio) break;
+    }
+  }
+  emit(t, p.get_flag("csv"));
+  return 0;
+}
+
+int cmd_fleet(int argc, const char* const* argv) {
+  cli::ArgParser p("mosaiq fleet",
+                   "Simulate K clients sharing one medium and one server.");
+  add_common_options(p);
+  p.option("scheme", "client|server|filter-client|filter-server", "server")
+      .option("clients", "comma-separated fleet sizes", "1,2,4,8,16")
+      .option("think", "inter-query think time, seconds", "1.0");
+  p.parse(argc, argv);
+
+  const workload::Dataset d = load_dataset(p.get("dataset"), p.get_int("segments"));
+  core::SessionConfig cfg = config_from(p);
+  cfg.scheme = parse_scheme(p.get("scheme"));
+
+  stats::Table t({"clients", "mean latency(s)", "p95(s)", "E/client(J)", "medium util",
+                  "server util", "answers"});
+  std::stringstream ss(p.get("clients"));
+  for (std::string tok; std::getline(ss, tok, ',');) {
+    core::FleetConfig fleet;
+    fleet.clients = static_cast<std::uint32_t>(std::stoul(tok));
+    fleet.queries_per_client = static_cast<std::uint32_t>(p.get_int("n"));
+    fleet.think_time_s = p.get_double("think");
+    fleet.query_kind = parse_query_kind(p.get("query"));
+    fleet.workload_seed = static_cast<std::uint64_t>(p.get_int("seed"));
+    const core::FleetOutcome o = core::run_fleet(d, cfg, fleet);
+    t.row({tok, stats::fmt_fixed(o.mean_latency_s, 3), stats::fmt_fixed(o.p95_latency_s, 3),
+           stats::fmt_joules(o.mean_client_energy_j), stats::fmt_pct(o.medium_utilization),
+           stats::fmt_pct(o.server_utilization), std::to_string(o.answers)});
+  }
+  emit(t, p.get_flag("csv"));
+  return 0;
+}
+
+int cmd_advise(int argc, const char* const* argv) {
+  cli::ArgParser p("mosaiq advise",
+                   "Planner recommendations per query type for one channel/device config.");
+  add_common_options(p);
+  p.parse(argc, argv);
+
+  const workload::Dataset d = load_dataset(p.get("dataset"), p.get_int("segments"));
+  core::PlannerEnv env;
+  env.bandwidth_mbps = p.get_double("bandwidth");
+  env.distance_m = p.get_double("distance");
+  env.client_mhz = 1000.0 * p.get_double("ratio");
+  env.data_at_client = !p.get_flag("data-at-server");
+  const core::Planner planner(d, env);
+
+  workload::QueryGen gen(d, static_cast<std::uint64_t>(p.get_int("seed")));
+  stats::Table t({"query", "energy choice", "latency choice", "est candidates"});
+  rtree::NullHooks sink;
+  const std::vector<std::pair<std::string, rtree::Query>> samples = {
+      {"point", rtree::Query{gen.point_query()}},
+      {"small range", rtree::Query{gen.range_query_near(gen.range_query().window.center(),
+                                                        0.0, 1e-4, 1e-4)}},
+      {"large range", rtree::Query{gen.range_query_near(gen.range_query().window.center(),
+                                                        0.0, 1e-2, 1e-2)}},
+      {"nn", rtree::Query{gen.nn_query()}},
+  };
+  for (const auto& [label, q] : samples) {
+    const core::Scheme e = planner.choose(q, core::Objective::Energy, sink);
+    const core::Scheme l = planner.choose(q, core::Objective::Latency, sink);
+    const auto pred = planner.predict(e, q);
+    t.row({label, name_of(e), name_of(l), stats::fmt_fixed(pred.est_candidates, 0)});
+  }
+  emit(t, p.get_flag("csv"));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string usage =
+      "usage: mosaiq <dataset|run|sweep|fleet|advise> [options]\n"
+      "run 'mosaiq <command> --help' for command options\n";
+  if (argc < 2) {
+    std::cerr << usage;
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "dataset") return cmd_dataset(argc - 1, argv + 1);
+    if (cmd == "run") return cmd_run(argc - 1, argv + 1);
+    if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (cmd == "fleet") return cmd_fleet(argc - 1, argv + 1);
+    if (cmd == "advise") return cmd_advise(argc - 1, argv + 1);
+    std::cerr << "unknown command '" << cmd << "'\n" << usage;
+    return 2;
+  } catch (const cli::ArgParser::HelpRequested& h) {
+    std::cout << h.what();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
