@@ -8,11 +8,18 @@
 // profile (Processor / NIC-Tx / NIC-Rx) per scheme and bandwidth.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/session.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 #include "stats/parallel.hpp"
 #include "stats/table.hpp"
 #include "workload/query_gen.hpp"
@@ -58,6 +65,13 @@ inline core::SessionConfig make_config(const SchemeVariant& sv, double mbps,
   return cfg;
 }
 
+/// Observability hook: when MOSAIQ_TRACE_OUT is set in the environment,
+/// run_sweep records every cell's phase spans and writes one combined
+/// Chrome trace_event JSON there (one "process" per cell), plus a
+/// reconciliation line proving the per-phase sums match the Outcome
+/// totals cell by cell.
+inline const char* trace_out_path() { return std::getenv("MOSAIQ_TRACE_OUT"); }
+
 /// Runs the full scheme x bandwidth sweep for one query batch and prints
 /// the paper-style table.  The fully-at-client row (bandwidth-invariant,
 /// the figures' horizontal line) is printed first.  Cells are
@@ -82,10 +96,16 @@ inline void run_sweep(const workload::Dataset& data, std::span<const rtree::Quer
     }
   }
 
+  const char* trace_path = trace_out_path();
+  std::vector<std::unique_ptr<obs::TraceSink>> sinks(cells.size());
+  if (trace_path != nullptr) {
+    for (auto& s : sinks) s = std::make_unique<obs::TraceSink>();
+  }
+
   const std::vector<stats::Outcome> outcomes = stats::parallel_map<stats::Outcome>(
       cells.size(), [&](std::size_t i) {
         const auto cfg = make_config(cells[i].sv, cells[i].mbps, client_ratio, distance_m);
-        return core::Session::run_batch(data, cfg, queries);
+        return core::Session::run_batch(data, cfg, queries, sinks[i].get());
       });
 
   stats::Table table(stats::outcome_header());
@@ -93,6 +113,32 @@ inline void run_sweep(const workload::Dataset& data, std::span<const rtree::Quer
     table.row(stats::outcome_row(cells[i].label, outcomes[i]));
   }
   table.print(os);
+
+  if (trace_path != nullptr) {
+    std::vector<obs::NamedTrace> named;
+    named.reserve(cells.size());
+    double max_energy_err = 0, max_wall_err = 0;
+    std::uint64_t cycle_mismatches = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      named.push_back({cells[i].label, sinks[i].get()});
+      const obs::Reconciliation r = obs::reconcile(*sinks[i], outcomes[i]);
+      max_energy_err = std::max(max_energy_err, std::abs(r.energy_error_j()));
+      max_wall_err = std::max(max_wall_err, std::abs(r.wall_error_s()));
+      if (r.trace_cycles != r.outcome_cycles) ++cycle_mismatches;
+    }
+    std::ofstream out(trace_path);
+    if (out) {
+      obs::write_chrome_trace(out, named);
+      os << "\ntrace: " << cells.size() << " cells written to " << trace_path
+         << " (chrome://tracing / ui.perfetto.dev)\n"
+         << "trace reconciliation vs Outcome: max |energy err| = "
+         << stats::fmt_sci(max_energy_err, 3) << " J, max |wall err| = "
+         << stats::fmt_sci(max_wall_err, 3) << " s, cycle mismatches = " << cycle_mismatches
+         << "\n";
+    } else {
+      os << "\ntrace: cannot open " << trace_path << "\n";
+    }
+  }
 }
 
 inline void print_dataset_banner(const workload::Dataset& d, std::ostream& os) {

@@ -59,7 +59,9 @@ void ArgParser::parse(int argc, const char* const* argv) {
         if (has_inline) {
           throw std::invalid_argument("flag --" + name + " takes no value\n" + usage());
         }
-        values_[name] = "1";
+        // The std::string temporary sidesteps a GCC 12 -Wrestrict false
+        // positive (PR 105329) on assigning a literal into a map slot.
+        values_[name] = std::string("1");
         continue;
       }
       if (!has_inline) {
@@ -140,6 +142,20 @@ std::string ArgParser::usage() const {
     }
   }
   return os.str();
+}
+
+ArgParser& add_observability_options(ArgParser& p) {
+  return p
+      .option("trace-out",
+              "write a Chrome trace_event JSON of every simulated phase to this path", "-")
+      .option("metrics-out", "write the per-phase aggregate metrics CSV to this path", "-");
+}
+
+ObsPaths obs_paths_from(const ArgParser& p) {
+  ObsPaths o;
+  if (p.get("trace-out") != "-") o.trace_path = p.get("trace-out");
+  if (p.get("metrics-out") != "-") o.metrics_path = p.get("metrics-out");
+  return o;
 }
 
 }  // namespace mosaiq::cli

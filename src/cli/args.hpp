@@ -59,4 +59,19 @@ class ArgParser {
   std::vector<std::string> positional_values_;
 };
 
+/// Registers the shared observability options ("--trace-out" for Chrome
+/// trace_event JSON, "--metrics-out" for the per-phase aggregate CSV;
+/// "-" = disabled), used by every subcommand that runs a simulation.
+ArgParser& add_observability_options(ArgParser& p);
+
+/// Paths parsed back out of the options above.
+struct ObsPaths {
+  std::string trace_path;    ///< empty = no trace requested
+  std::string metrics_path;  ///< empty = no metrics requested
+
+  bool enabled() const { return !trace_path.empty() || !metrics_path.empty(); }
+};
+
+ObsPaths obs_paths_from(const ArgParser& p);
+
 }  // namespace mosaiq::cli

@@ -21,6 +21,9 @@ class AdaptiveSession {
 
   stats::Outcome outcome() { return session_.outcome(); }
 
+  /// Forwards a phase-span/counter sink to the underlying Session.
+  void set_trace(obs::TraceSink* trace) { session_.set_trace(trace); }
+
   /// How often each scheme was chosen so far.
   const std::array<std::uint32_t, 4>& choices() const { return choices_; }
   std::uint32_t chosen(Scheme s) const { return choices_[static_cast<std::size_t>(s)]; }

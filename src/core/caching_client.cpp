@@ -62,12 +62,24 @@ void CachingClient::fetch_and_run(const rtree::RangeQuery& q) {
 }
 
 void CachingClient::run_query(const rtree::RangeQuery& q) {
-  if (has_cache_ && safe_rect_.contains(q.window)) {
+  obs::TraceSink* trace = transport_.trace();
+  const bool hit = has_cache_ && safe_rect_.contains(q.window);
+  if (trace != nullptr) {
+    transport_.settle_sleep();
+    trace->begin(hit ? "cache-hit" : "cache-fetch", transport_.wall_seconds());
+    trace->counter(hit ? "cache-local-hits" : "cache-fetches", 1);
+  }
+  if (hit) {
     ++local_hits_;
     run_local(q);
-    return;
+  } else {
+    fetch_and_run(q);
   }
-  fetch_and_run(q);
+  if (trace != nullptr) {
+    transport_.settle_sleep();
+    trace->end(transport_.wall_seconds());
+    if (!hit) trace->counter("cache-shipped-bytes", static_cast<double>(cached_bytes()));
+  }
 }
 
 stats::Outcome CachingClient::outcome() {

@@ -34,6 +34,10 @@ class CachingClient {
 
   stats::Outcome outcome();
 
+  /// Attaches a phase-span/counter sink; queries are wrapped in
+  /// "cache-hit" / "cache-fetch" spans and hit/fetch counters.
+  void set_trace(obs::TraceSink* trace) { transport_.set_trace(trace); }
+
   std::uint32_t local_hits() const { return local_hits_; }
   std::uint32_t fetches() const { return fetches_; }
   const sim::ClientCpu& client_cpu() const { return client_; }

@@ -58,7 +58,22 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
   double medium_busy = 0;
   double server_busy = 0;
 
+  // Tracing: one track per client; spans carry the energy delta accrued
+  // by that client's CPU + NIC since its previous span on the track.
+  obs::TraceSink* trace = fleet.trace;
+  std::vector<double> mark_j(fleet.clients, 0.0);
+  std::vector<std::uint64_t> mark_cycles(fleet.clients, 0);
   std::vector<Client> clients(fleet.clients);
+  auto emit = [&](std::uint32_t k, const char* name, double t0, double t1) {
+    if (trace == nullptr || t1 <= t0) return;
+    const Client& c = clients[k];
+    const double j = c.cpu->energy().total_j() + c.nic.total_joules();
+    const std::uint64_t cyc = c.cpu->busy_cycles();
+    trace->phase(name, t0, t1, j - mark_j[k], cyc - mark_cycles[k], k);
+    mark_j[k] = j;
+    mark_cycles[k] = cyc;
+  };
+
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
   for (std::uint32_t k = 0; k < fleet.clients; ++k) {
     Client& c = clients[k];
@@ -71,6 +86,7 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
     c.ready_at = fleet.think_time_s * static_cast<double>(k) /
                  std::max(1u, fleet.clients);
     c.nic.spend(net::NicState::Sleep, c.ready_at);
+    emit(k, "stagger", 0.0, c.ready_at);
     events.push({c.ready_at, k});
   }
 
@@ -185,6 +201,7 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
         c.issue_time = ev.time;
         const double dt = run_client_work(c, q);
         c.nic.spend(net::NicState::Sleep, dt);
+        emit(ev.client, "w1-compute", ev.time, ev.time + dt);
         if (!c.demand.remote) {
           // Fully at client: the query is done.
           c.latencies.push_back(dt);
@@ -192,6 +209,7 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
           ++c.next_query;
           if (c.next_query < c.queries.size()) {
             c.nic.spend(net::NicState::Sleep, fleet.think_time_s);
+            emit(ev.client, "think", ev.time + dt, ev.time + dt + fleet.think_time_s);
             events.push({ev.time + dt + fleet.think_time_s, ev.client});
           }
           break;
@@ -206,20 +224,26 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
         medium_free = end;
         medium_busy += c.demand.tx_air_s;
         c.nic.spend(net::NicState::Idle, start - ev.time);
+        emit(ev.client, "medium-wait", ev.time, start);
+        if (trace != nullptr) trace->counter("medium-wait-s", start - ev.time);
         c.nic.spend(net::NicState::Transmit, c.demand.tx_air_s);
         c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+        emit(ev.client, "tx", start, end);
         c.stage = 2;
         events.push({end, ev.client});
         break;
       }
       case 2: {  // claim the server
         const double start = std::max(ev.time, server_free);
+        emit(ev.client, "server-queue", ev.time, start);
+        if (trace != nullptr) trace->counter("server-queue-wait-s", start - ev.time);
         const double dt = run_server_work(c, q);
         const double end = start + dt;
         server_free = end;
         server_busy += dt;
         c.nic.spend(net::NicState::Idle, end - ev.time);
         c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+        emit(ev.client, "server-work", start, end);
         c.stage = 3;
         events.push({end, ev.client});
         break;
@@ -230,8 +254,11 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
         medium_free = end;
         medium_busy += c.demand.rx_air_s;
         c.nic.spend(net::NicState::Idle, start - ev.time);
+        emit(ev.client, "medium-wait", ev.time, start);
+        if (trace != nullptr) trace->counter("medium-wait-s", start - ev.time);
         c.nic.spend(net::NicState::Receive, c.demand.rx_air_s);
         c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+        emit(ev.client, "rx", start, end);
         c.stage = 4;
         events.push({end, ev.client});
         break;
@@ -240,12 +267,14 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
         const double dt = run_client_finish(c, q);
         c.nic.spend(net::NicState::Sleep, dt);
         const double done = ev.time + dt;
+        emit(ev.client, "w3-unpack", ev.time, done);
         c.latencies.push_back(done - c.issue_time);
         makespan = std::max(makespan, done);
         c.stage = 0;
         ++c.next_query;
         if (c.next_query < c.queries.size()) {
           c.nic.spend(net::NicState::Sleep, fleet.think_time_s);
+          emit(ev.client, "think", done, done + fleet.think_time_s);
           events.push({done + fleet.think_time_s, ev.client});
         }
         break;

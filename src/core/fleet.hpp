@@ -30,6 +30,11 @@ struct FleetConfig {
   double think_time_s = 1.0;
   std::uint64_t workload_seed = 99;
   rtree::QueryKind query_kind = rtree::QueryKind::Range;
+  /// Optional span/counter sink: each client becomes one track, with
+  /// per-stage spans (w1-compute, medium-wait, tx, server-queue,
+  /// server-work, rx, w3-unpack, think) in global simulation time — the
+  /// contention the utilization numbers summarize, made visible.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct FleetOutcome {

@@ -199,11 +199,22 @@ void Session::run_filter_server_refine_client(const rtree::Query& q) {
 void Session::run_query(const rtree::Query& q) { run_query_as(q, cfg_.scheme); }
 
 void Session::run_query_as(const rtree::Query& q, Scheme scheme) {
+  obs::TraceSink* trace = transport_.trace();
+  if (trace != nullptr) {
+    // Settle so the wrapper opens exactly at this query's first phase.
+    transport_.settle_sleep();
+    trace->begin(std::string(name_of(scheme)) + " " + name_of(rtree::kind_of(q)),
+                 transport_.wall_seconds());
+  }
   switch (scheme) {
     case Scheme::FullyAtClient: run_fully_at_client(q); break;
     case Scheme::FullyAtServer: run_fully_at_server(q); break;
     case Scheme::FilterClientRefineServer: run_filter_client_refine_server(q); break;
     case Scheme::FilterServerRefineClient: run_filter_server_refine_client(q); break;
+  }
+  if (trace != nullptr) {
+    transport_.settle_sleep();
+    trace->end(transport_.wall_seconds());
   }
 }
 
@@ -214,8 +225,10 @@ stats::Outcome Session::outcome() {
 }
 
 stats::Outcome Session::run_batch(const workload::Dataset& dataset, const SessionConfig& cfg,
-                                  std::span<const rtree::Query> queries) {
+                                  std::span<const rtree::Query> queries,
+                                  obs::TraceSink* trace) {
   Session s(dataset, cfg);
+  s.set_trace(trace);
   for (const rtree::Query& q : queries) s.run_query(q);
   return s.outcome();
 }

@@ -51,6 +51,11 @@ class Session {
   /// Snapshot of the accumulated totals.
   stats::Outcome outcome();
 
+  /// Attaches a phase-span/counter sink (obs/trace.hpp); nullptr
+  /// detaches.  Each run_query additionally wraps its phases in a
+  /// "<scheme> <kind>" wrapper span.
+  void set_trace(obs::TraceSink* trace) { transport_.set_trace(trace); }
+
   const sim::ClientCpu& client_cpu() const { return client_; }
 
   /// Client CPU as an instrumentation sink for work that logically runs
@@ -62,8 +67,10 @@ class Session {
   const SessionConfig& config() const { return cfg_; }
 
   /// Convenience: fresh session, run all queries, return totals.
+  /// A non-null `trace` records the batch's phase spans.
   static stats::Outcome run_batch(const workload::Dataset& dataset, const SessionConfig& cfg,
-                                  std::span<const rtree::Query> queries);
+                                  std::span<const rtree::Query> queries,
+                                  obs::TraceSink* trace = nullptr);
 
  private:
   void run_fully_at_client(const rtree::Query& q);

@@ -18,6 +18,7 @@
 #include "core/scheme.hpp"
 #include "net/nic.hpp"
 #include "net/protocol.hpp"
+#include "obs/trace.hpp"
 #include "sim/client_cpu.hpp"
 #include "sim/server_cpu.hpp"
 #include "stats/breakdown.hpp"
@@ -43,9 +44,12 @@ class Transport {
   void exchange(std::uint64_t tx_payload_bytes, ServerWork&& server_work) {
     const double client_hz = client_.config().clock_hz();
 
+    // Flush compute pending from before the exchange into its own
+    // "sleep" span, so the protocol work below gets a span of its own.
+    if (trace_ != nullptr) settle_sleep();
     const net::WireCost tx = net::wire_cost(tx_payload_bytes, protocol_);
     net::charge_protocol_tx(tx, client_);
-    settle_sleep();
+    settle_sleep_as("protocol-tx");
 
     // TX phase: the client sends its data + control packets and, half
     // duplex, takes in the server's delayed ACKs for them.
@@ -53,6 +57,7 @@ class Transport {
     const std::uint64_t ctrl_tx = net::control_bytes(0, protocol_);  // SYN/FIN etc.
     const std::uint64_t peer_acks = net::control_bytes(tx.packets, protocol_) - ctrl_tx;
     wall_seconds_ += nic_.sleep_exit();
+    emit_phase("sleep-exit");
     const double t_tx = static_cast<double>((tx.wire_bytes + ctrl_tx) * 8) / bits_per_s;
     const double t_peer_acks = static_cast<double>(peer_acks * 8) / bits_per_s;
     nic_.spend(net::NicState::Transmit, t_tx);
@@ -61,6 +66,7 @@ class Transport {
     cycles_.nic_tx += static_cast<std::uint64_t>(std::llround(t_tx * client_hz));
     cycles_.nic_rx += static_cast<std::uint64_t>(std::llround(t_peer_acks * client_hz));
     wall_seconds_ += t_tx + t_peer_acks;
+    emit_phase("tx");
 
     const std::uint64_t s0 = server_.cycles();
     net::charge_protocol_rx(tx, server_);
@@ -74,6 +80,7 @@ class Transport {
     client_.wait_seconds(t_server, wait_policy_);
     cycles_.wait += static_cast<std::uint64_t>(std::llround(t_server * client_hz));
     wall_seconds_ += t_server;
+    emit_phase("server-wait");
 
     // RX phase: response data + server control packets come in; the
     // client transmits its own delayed ACKs.
@@ -86,26 +93,36 @@ class Transport {
     cycles_.nic_rx += static_cast<std::uint64_t>(std::llround(t_rx * client_hz));
     cycles_.nic_tx += static_cast<std::uint64_t>(std::llround(t_my_acks * client_hz));
     wall_seconds_ += t_rx + t_my_acks;
+    emit_phase("rx");
 
     net::charge_protocol_rx(rx, client_);
-    settle_sleep();
+    settle_sleep_as("protocol-rx");
 
     bytes_tx_ += tx.wire_bytes + ctrl_tx + my_acks;
     bytes_rx_ += rx.wire_bytes + ctrl_tx + peer_acks;
     ++round_trips_;
+    if (trace_ != nullptr) {
+      trace_->counter("round-trips", 1);
+      trace_->counter("bytes-tx", static_cast<double>(tx.wire_bytes + ctrl_tx + my_acks));
+      trace_->counter("bytes-rx", static_cast<double>(rx.wire_bytes + ctrl_tx + peer_acks));
+    }
   }
 
   /// Attribute client busy time since the last call as NIC-sleep wall
   /// time.  Call after local compute phases and before reading totals.
-  void settle_sleep() {
-    const double busy = client_.busy_seconds();
-    const double delta = busy - settled_busy_seconds_;
-    if (delta > 0) {
-      nic_.spend(net::NicState::Sleep, delta);
-      wall_seconds_ += delta;
-      settled_busy_seconds_ = busy;
-    }
+  void settle_sleep() { settle_sleep_as("sleep"); }
+
+  /// Attaches (or detaches, with nullptr) a span/counter sink.  With no
+  /// sink the accounting is bit-identical and the only cost per phase
+  /// is this pointer's null check.
+  void set_trace(obs::TraceSink* trace) {
+    trace_ = trace;
+    if (trace_ != nullptr) reset_mark();
   }
+  obs::TraceSink* trace() const { return trace_; }
+
+  /// Wall-clock seconds accumulated so far (advanced on settle).
+  double wall_seconds() const { return wall_seconds_; }
 
   /// Assembles the communication + CPU totals into an Outcome (the
   /// caller fills in answer counts).
@@ -131,6 +148,44 @@ class Transport {
   const net::Nic& nic() const { return nic_; }
 
  private:
+  /// settle_sleep with an explicit span name: exchange() uses it to
+  /// label the busy delta as protocol work instead of plain compute.
+  void settle_sleep_as(const char* phase_name) {
+    const double busy = client_.busy_seconds();
+    const double delta = busy - settled_busy_seconds_;
+    if (delta > 0) {
+      nic_.spend(net::NicState::Sleep, delta);
+      wall_seconds_ += delta;
+      settled_busy_seconds_ = busy;
+      emit_phase(phase_name);
+    }
+  }
+
+  // Tracing marks: every joule lands in client_.energy() or nic_, and
+  // every cycle in client busy cycles or cycles_, so spans recorded as
+  // deltas between consecutive marks tile the run and telescope to the
+  // snapshot() totals — the conservation property obs::reconcile checks.
+  struct Mark {
+    double wall_s = 0;
+    double joules = 0;
+    std::uint64_t cycles = 0;
+  };
+
+  Mark current_mark() const {
+    return {wall_seconds_, client_.energy().total_j() + nic_.total_joules(),
+            client_.busy_cycles() + cycles_.nic_tx + cycles_.nic_rx + cycles_.wait};
+  }
+
+  void reset_mark() { mark_ = current_mark(); }
+
+  void emit_phase(const char* name) {
+    if (trace_ == nullptr) return;
+    const Mark now = current_mark();
+    trace_->phase(name, mark_.wall_s, now.wall_s, now.joules - mark_.joules,
+                  now.cycles - mark_.cycles);
+    mark_ = now;
+  }
+
   net::Channel channel_;
   net::ProtocolConfig protocol_;
   sim::WaitPolicy wait_policy_;
@@ -144,6 +199,9 @@ class Transport {
   std::uint32_t round_trips_ = 0;
   double wall_seconds_ = 0;
   double settled_busy_seconds_ = 0;
+
+  obs::TraceSink* trace_ = nullptr;
+  Mark mark_;
 };
 
 }  // namespace mosaiq::core

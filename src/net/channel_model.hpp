@@ -18,6 +18,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "net/protocol.hpp"
 
@@ -45,6 +46,10 @@ inline double expected_transmissions(double ber, std::uint32_t frame_bytes) {
 /// retransmissions.
 inline double effective_bandwidth_mbps(const ErrorChannelConfig& ch,
                                        const ProtocolConfig& proto = {}) {
+  // Guard the degenerate all-header frame: mtu <= header would wrap the
+  // unsigned subtraction into a nonsense payload fraction; such a link
+  // delivers no payload at all.
+  if (proto.mtu_bytes <= proto.header_bytes) return 0.0;
   const double payload_fraction =
       static_cast<double>(proto.mtu_bytes - proto.header_bytes) /
       static_cast<double>(proto.mtu_bytes);

@@ -1,0 +1,86 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace mosaiq::obs {
+
+namespace {
+
+/// Doubles are formatted with %.17g so the JSON round-trips exactly;
+/// trace viewers only need the microsecond magnitudes anyway.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_event_prefix(std::ostream& os, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  ";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& os, std::span<const NamedTrace> traces) {
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  int pid = 0;
+  for (const NamedTrace& nt : traces) {
+    if (nt.trace == nullptr) continue;
+    write_event_prefix(os, first);
+    os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+       << ", \"tid\": 0, \"args\": {\"name\": \"" << json_escape(nt.name) << "\"}}";
+    double t_end = 0;
+    for (const Span& s : nt.trace->spans()) {
+      write_event_prefix(os, first);
+      os << "{\"name\": \"" << json_escape(s.name) << "\", \"cat\": \""
+         << (s.category == SpanCategory::Phase ? "phase" : "span")
+         << "\", \"ph\": \"X\", \"ts\": " << fmt_double(s.start_s * 1e6)
+         << ", \"dur\": " << fmt_double(s.duration_s() * 1e6) << ", \"pid\": " << pid
+         << ", \"tid\": " << s.track << ", \"args\": {\"joules\": " << fmt_double(s.joules)
+         << ", \"cycles\": " << s.cycles << "}}";
+      t_end = std::max(t_end, s.end_s);
+    }
+    for (const auto& [name, value] : nt.trace->counters()) {
+      write_event_prefix(os, first);
+      os << "{\"name\": \"" << json_escape(name) << "\", \"ph\": \"C\", \"ts\": "
+         << fmt_double(t_end * 1e6) << ", \"pid\": " << pid
+         << ", \"tid\": 0, \"args\": {\"value\": " << fmt_double(value) << "}}";
+    }
+    ++pid;
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void write_chrome_trace(std::ostream& os, const TraceSink& trace, const std::string& name) {
+  const NamedTrace nt{name, &trace};
+  write_chrome_trace(os, std::span<const NamedTrace>(&nt, 1));
+}
+
+}  // namespace mosaiq::obs

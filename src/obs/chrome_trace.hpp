@@ -1,0 +1,37 @@
+// Chrome trace_event JSON exporter: turns TraceSink spans into a file
+// loadable in chrome://tracing or Perfetto (ui.perfetto.dev).
+//
+// Each TraceSink becomes one "process" (pid) named after its label, and
+// each track within it one "thread" (tid), so a sweep can pack every
+// (scheme, bandwidth) cell — or every fleet client — into a single
+// trace with per-row timelines.  Spans are emitted as complete ("X")
+// events with simulated microsecond timestamps; joules and cycles ride
+// along in `args`; counters appear as "C" events.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace mosaiq::obs {
+
+/// One exported timeline: a label (Chrome process name) plus the sink.
+struct NamedTrace {
+  std::string name;
+  const TraceSink* trace = nullptr;
+};
+
+/// Writes the JSON-object form ({"traceEvents": [...], ...}) for any
+/// number of sinks.  Null sinks in `traces` are skipped.
+void write_chrome_trace(std::ostream& os, std::span<const NamedTrace> traces);
+
+/// Single-sink convenience.
+void write_chrome_trace(std::ostream& os, const TraceSink& trace,
+                        const std::string& name = "mosaiq");
+
+/// JSON string escaping (exposed for tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace mosaiq::obs

@@ -1,0 +1,69 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "stats/table.hpp"
+
+namespace mosaiq::obs {
+
+std::map<std::string, PhaseTotals> aggregate_phases(const TraceSink& trace) {
+  std::map<std::string, PhaseTotals> agg;
+  for (const Span& s : trace.spans()) {
+    if (s.category != SpanCategory::Phase) continue;
+    PhaseTotals& t = agg[s.name];
+    t.seconds += s.duration_s();
+    t.joules += s.joules;
+    t.cycles += s.cycles;
+    ++t.count;
+  }
+  return agg;
+}
+
+bool Reconciliation::ok(double tol_j, double tol_s) const {
+  return std::abs(energy_error_j()) <= tol_j && std::abs(wall_error_s()) <= tol_s &&
+         trace_cycles == outcome_cycles;
+}
+
+Reconciliation reconcile(const TraceSink& trace, const stats::Outcome& outcome) {
+  Reconciliation r;
+  for (const Span& s : trace.spans()) {
+    if (s.category != SpanCategory::Phase) continue;
+    r.trace_joules += s.joules;
+    r.trace_seconds += s.duration_s();
+    r.trace_cycles += s.cycles;
+  }
+  r.outcome_joules = outcome.energy.total_j();
+  r.outcome_seconds = outcome.wall_seconds;
+  r.outcome_cycles = outcome.cycles.total();
+  return r;
+}
+
+void write_metrics(std::ostream& os, const TraceSink& trace, const stats::Outcome* outcome,
+                   bool csv) {
+  stats::Table t({"phase", "spans", "seconds", "joules", "cycles"});
+  for (const auto& [name, p] : aggregate_phases(trace)) {
+    t.row({name, std::to_string(p.count), stats::fmt_sci(p.seconds, 6),
+           stats::fmt_sci(p.joules, 6), std::to_string(p.cycles)});
+  }
+  if (csv) {
+    t.print_csv(os);
+  } else {
+    t.print(os);
+  }
+  for (const auto& [name, value] : trace.counters()) {
+    os << "counter," << name << "," << stats::fmt_sci(value, 6) << "\n";
+  }
+  if (outcome != nullptr) {
+    const Reconciliation r = reconcile(trace, *outcome);
+    os << "reconcile,energy_error_j," << stats::fmt_sci(r.energy_error_j(), 3) << "\n"
+       << "reconcile,wall_error_s," << stats::fmt_sci(r.wall_error_s(), 3) << "\n"
+       << "reconcile,cycles_error,"
+       << (static_cast<std::int64_t>(r.trace_cycles) -
+           static_cast<std::int64_t>(r.outcome_cycles))
+       << "\n"
+       << "reconcile,ok," << (r.ok() ? "1" : "0") << "\n";
+  }
+}
+
+}  // namespace mosaiq::obs

@@ -1,0 +1,60 @@
+// Per-phase aggregate metrics derived from a TraceSink, and the
+// conservation check that reconciles them against the cumulative
+// stats::Outcome the simulator already reports.
+//
+// Because phase spans tile the wall-clock timeline and carry the exact
+// energy/cycle deltas measured between phase boundaries, summing them
+// per phase must reproduce the Outcome totals: energy to floating-point
+// roundoff (the acceptance bound is 1e-9 J), wall seconds likewise, and
+// cycles exactly.  A reconciliation failure means the simulator leaked
+// or double-counted resources somewhere — the trace doubles as a
+// whole-simulator correctness oracle.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "stats/breakdown.hpp"
+
+namespace mosaiq::obs {
+
+struct PhaseTotals {
+  double seconds = 0;
+  double joules = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t count = 0;  ///< number of spans aggregated
+};
+
+/// Sums the Phase-category spans by name (wrapper spans are annotations
+/// and excluded — they would double-count their contents).
+std::map<std::string, PhaseTotals> aggregate_phases(const TraceSink& trace);
+
+/// Trace-vs-Outcome conservation comparison.
+struct Reconciliation {
+  double trace_joules = 0;
+  double outcome_joules = 0;
+  double trace_seconds = 0;
+  double outcome_seconds = 0;
+  std::uint64_t trace_cycles = 0;
+  std::uint64_t outcome_cycles = 0;
+
+  double energy_error_j() const { return trace_joules - outcome_joules; }
+  double wall_error_s() const { return trace_seconds - outcome_seconds; }
+
+  bool ok(double tol_j = 1e-9, double tol_s = 1e-9) const;
+};
+
+/// Compares the phase-span sums against `outcome` (which must come from
+/// the same run the trace was recorded on).
+Reconciliation reconcile(const TraceSink& trace, const stats::Outcome& outcome);
+
+/// Prints the per-phase aggregate table, the counters, and — when an
+/// outcome is supplied — the reconciliation footer.  CSV layout when
+/// `csv` is set, aligned table otherwise.
+void write_metrics(std::ostream& os, const TraceSink& trace,
+                   const stats::Outcome* outcome = nullptr, bool csv = true);
+
+}  // namespace mosaiq::obs

@@ -1,0 +1,52 @@
+#include "obs/trace.hpp"
+
+#include <stdexcept>
+
+namespace mosaiq::obs {
+
+void TraceSink::phase(std::string name, double start_s, double end_s, double joules,
+                      std::uint64_t cycles, std::uint32_t track) {
+  Span s;
+  s.name = std::move(name);
+  s.category = SpanCategory::Phase;
+  s.start_s = start_s;
+  s.end_s = end_s;
+  s.joules = joules;
+  s.cycles = cycles;
+  s.track = track;
+  s.depth = open_depth(track);
+  spans_.push_back(std::move(s));
+}
+
+void TraceSink::begin(std::string name, double start_s, std::uint32_t track) {
+  open_.push_back({std::move(name), start_s, track});
+}
+
+void TraceSink::end(double end_s, std::uint32_t track) {
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->track != track) continue;
+    Span s;
+    s.name = std::move(it->name);
+    s.category = SpanCategory::Wrapper;
+    s.start_s = it->start_s;
+    s.end_s = end_s;
+    s.track = track;
+    open_.erase(std::next(it).base());
+    s.depth = open_depth(track);
+    spans_.push_back(std::move(s));
+    return;
+  }
+  throw std::logic_error("TraceSink::end: no open span on track " + std::to_string(track));
+}
+
+void TraceSink::counter(const std::string& name, double delta) { counters_[name] += delta; }
+
+std::uint32_t TraceSink::open_depth(std::uint32_t track) const {
+  std::uint32_t n = 0;
+  for (const Open& o : open_) {
+    if (o.track == track) ++n;
+  }
+  return n;
+}
+
+}  // namespace mosaiq::obs

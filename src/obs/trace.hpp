@@ -1,0 +1,83 @@
+// Phase-level observability: timestamped spans and counters for the
+// simulator's Figure-1 schedule.
+//
+// A TraceSink records what the figures only show in aggregate — every
+// protocol-tx / sleep-exit / TX / server-wait / RX / protocol-rx /
+// sleep phase as a (start, end, cycles, joules) span on a per-client
+// timeline — plus named counters (round trips, wire bytes, cache hits,
+// fleet queue grants).  Producers hold a `TraceSink*` that is null by
+// default; every emission site is gated on that pointer, so a disabled
+// trace costs one branch and the simulated numbers are bit-identical
+// with and without a sink attached.
+//
+// Phase spans tile the wall-clock timeline and carry the resources
+// consumed in them; summed per phase they must reconcile exactly with
+// the cumulative stats::Outcome (obs/metrics.hpp), which makes the
+// trace a correctness oracle for the accounting, not just a debugging
+// aid.  Wrapper spans (whole queries, shipment fetches) nest around
+// phases and carry no resources of their own.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mosaiq::obs {
+
+/// Phase spans tile the timeline and own the resources spent in them;
+/// Wrapper spans are nestable annotations (a query, a cache fetch) that
+/// never double-count resources.
+enum class SpanCategory : std::uint8_t { Phase, Wrapper };
+
+struct Span {
+  std::string name;
+  SpanCategory category = SpanCategory::Phase;
+  double start_s = 0;
+  double end_s = 0;
+  std::uint64_t cycles = 0;  ///< client cycles attributed to the span
+  double joules = 0;         ///< client-side energy attributed to the span
+  std::uint32_t track = 0;   ///< timeline id (0 = the session's client; fleet: client k)
+  std::uint32_t depth = 0;   ///< wrapper-nesting depth at emission
+
+  double duration_s() const { return end_s - start_s; }
+};
+
+class TraceSink {
+ public:
+  /// Records one complete phase span on `track`.
+  void phase(std::string name, double start_s, double end_s, double joules = 0,
+             std::uint64_t cycles = 0, std::uint32_t track = 0);
+
+  /// Opens a wrapper span on `track`; close with end() on the same
+  /// track.  Wrappers nest (LIFO per track).
+  void begin(std::string name, double start_s, std::uint32_t track = 0);
+
+  /// Closes the innermost open wrapper on `track`.  Throws
+  /// std::logic_error when nothing is open.
+  void end(double end_s, std::uint32_t track = 0);
+
+  /// Accumulates `delta` into the named counter.
+  void counter(const std::string& name, double delta);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::map<std::string, double>& counters() const { return counters_; }
+
+  /// Open wrapper spans on `track` (0 once every begin() is end()ed).
+  std::uint32_t open_depth(std::uint32_t track = 0) const;
+
+  bool empty() const { return spans_.empty() && counters_.empty(); }
+
+ private:
+  struct Open {
+    std::string name;
+    double start_s;
+    std::uint32_t track;
+  };
+
+  std::vector<Span> spans_;
+  std::vector<Open> open_;  ///< interleaved per-track stacks
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace mosaiq::obs

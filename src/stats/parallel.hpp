@@ -6,6 +6,7 @@
 // scheduling.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <functional>

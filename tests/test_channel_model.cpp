@@ -36,6 +36,23 @@ TEST(ChannelModel, EffectiveBandwidthMonotoneInBer) {
   EXPECT_LT(bw, 2.5);
 }
 
+TEST(ChannelModel, DegenerateAllHeaderFrameYieldsZeroBandwidth) {
+  // Regression: header >= MTU used to wrap the unsigned payload
+  // subtraction into a huge "payload fraction" and report an effective
+  // bandwidth far above the raw link rate.
+  const ErrorChannelConfig ch{11.0, 0.0};
+  ProtocolConfig proto;
+  proto.header_bytes = proto.mtu_bytes;  // all header
+  EXPECT_DOUBLE_EQ(effective_bandwidth_mbps(ch, proto), 0.0);
+  proto.header_bytes = proto.mtu_bytes + 60;  // header exceeds MTU
+  EXPECT_DOUBLE_EQ(effective_bandwidth_mbps(ch, proto), 0.0);
+  // A one-byte payload is still a valid (if terrible) configuration.
+  proto.header_bytes = proto.mtu_bytes - 1;
+  const double bw = effective_bandwidth_mbps(ch, proto);
+  EXPECT_GT(bw, 0.0);
+  EXPECT_LT(bw, ch.raw_mbps);
+}
+
 TEST(ChannelModel, OptimalMtuShrinksWithBer) {
   const std::uint32_t clean = best_mtu_bytes({11.0, 1e-7});
   const std::uint32_t noisy = best_mtu_bytes({11.0, 1e-4});

@@ -11,12 +11,16 @@
 #include <sstream>
 
 #include <fstream>
+#include <memory>
+#include <span>
 
 #include "cli/args.hpp"
 #include "core/adaptive_session.hpp"
 #include "core/fleet.hpp"
 #include "core/session.hpp"
 #include "model/analytic.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 #include "stats/recorder.hpp"
 #include "stats/table.hpp"
 #include "workload/query_gen.hpp"
@@ -63,6 +67,7 @@ sim::WaitPolicy parse_wait(const std::string& s) {
 }
 
 void add_common_options(cli::ArgParser& p) {
+  cli::add_observability_options(p);
   p.option("dataset", "dataset: pa|nyc", "pa")
       .option("segments", "override dataset cardinality (0 = paper size)", "0")
       .option("query", "query kind: point|range|nn|knn|route", "range")
@@ -110,6 +115,32 @@ void emit(const stats::Table& t, bool csv) {
   }
 }
 
+/// Writes the requested trace/metrics artifacts for one or more
+/// recorded timelines.  `oracle` (when given, single-trace case) adds
+/// the trace-vs-Outcome reconciliation footer to the metrics file.
+void write_obs_outputs(const cli::ObsPaths& paths, std::span<const obs::NamedTrace> traces,
+                       const stats::Outcome* oracle) {
+  auto open = [](const std::string& path) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    return out;
+  };
+  if (!paths.trace_path.empty()) {
+    std::ofstream out = open(paths.trace_path);
+    obs::write_chrome_trace(out, traces);
+    std::cout << "trace written to " << paths.trace_path
+              << " (load in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!paths.metrics_path.empty()) {
+    std::ofstream out = open(paths.metrics_path);
+    for (const obs::NamedTrace& nt : traces) {
+      if (traces.size() > 1) out << "# " << nt.name << "\n";
+      obs::write_metrics(out, *nt.trace, traces.size() == 1 ? oracle : nullptr);
+    }
+    std::cout << "metrics written to " << paths.metrics_path << "\n";
+  }
+}
+
 int cmd_dataset(int argc, const char* const* argv) {
   cli::ArgParser p("mosaiq dataset", "Print dataset and index statistics.");
   p.option("dataset", "dataset: pa|nyc", "pa")
@@ -140,12 +171,17 @@ int cmd_run(int argc, const char* const* argv) {
 
   stats::Recorder recorder;
   const bool want_per_query = p.get("per-query") != "-";
+  const cli::ObsPaths obs_paths = cli::obs_paths_from(p);
+  obs::TraceSink sink;
+  obs::TraceSink* trace = obs_paths.enabled() ? &sink : nullptr;
+  stats::Outcome final_outcome;
 
   stats::Table t(stats::outcome_header());
   if (p.get("scheme") == "adaptive") {
     const core::Objective obj = p.get("objective") == "latency" ? core::Objective::Latency
                                                                 : core::Objective::Energy;
     core::AdaptiveSession s(d, cfg, obj);
+    s.set_trace(trace);
     stats::Outcome prev = s.outcome();
     for (const auto& q : queries) {
       s.run_query(q);
@@ -155,11 +191,13 @@ int cmd_run(int argc, const char* const* argv) {
         prev = now;
       }
     }
-    t.row(stats::outcome_row("adaptive(" + p.get("objective") + ")", s.outcome()));
+    final_outcome = s.outcome();
+    t.row(stats::outcome_row("adaptive(" + p.get("objective") + ")", final_outcome));
   } else {
     core::SessionConfig run_cfg = cfg;
     run_cfg.scheme = parse_scheme(p.get("scheme"));
     core::Session s(d, run_cfg);
+    s.set_trace(trace);
     stats::Outcome prev = s.outcome();
     for (const auto& q : queries) {
       s.run_query(q);
@@ -169,9 +207,14 @@ int cmd_run(int argc, const char* const* argv) {
         prev = now;
       }
     }
-    t.row(stats::outcome_row(p.get("scheme"), s.outcome()));
+    final_outcome = s.outcome();
+    t.row(stats::outcome_row(p.get("scheme"), final_outcome));
   }
   emit(t, p.get_flag("csv"));
+  if (trace != nullptr) {
+    const obs::NamedTrace nt{"mosaiq run " + p.get("scheme"), &sink};
+    write_obs_outputs(obs_paths, {&nt, 1}, &final_outcome);
+  }
   if (want_per_query) {
     std::ofstream out(p.get("per-query"));
     if (!out) throw std::runtime_error("cannot open " + p.get("per-query"));
@@ -263,6 +306,10 @@ int cmd_fleet(int argc, const char* const* argv) {
   core::SessionConfig cfg = config_from(p);
   cfg.scheme = parse_scheme(p.get("scheme"));
 
+  const cli::ObsPaths obs_paths = cli::obs_paths_from(p);
+  std::vector<std::unique_ptr<obs::TraceSink>> sinks;
+  std::vector<obs::NamedTrace> named;
+
   stats::Table t({"clients", "mean latency(s)", "p95(s)", "E/client(J)", "medium util",
                   "server util", "answers"});
   std::stringstream ss(p.get("clients"));
@@ -273,12 +320,18 @@ int cmd_fleet(int argc, const char* const* argv) {
     fleet.think_time_s = p.get_double("think");
     fleet.query_kind = parse_query_kind(p.get("query"));
     fleet.workload_seed = static_cast<std::uint64_t>(p.get_int("seed"));
+    if (obs_paths.enabled()) {
+      sinks.push_back(std::make_unique<obs::TraceSink>());
+      fleet.trace = sinks.back().get();
+      named.push_back({"fleet " + tok + " clients", sinks.back().get()});
+    }
     const core::FleetOutcome o = core::run_fleet(d, cfg, fleet);
     t.row({tok, stats::fmt_fixed(o.mean_latency_s, 3), stats::fmt_fixed(o.p95_latency_s, 3),
            stats::fmt_joules(o.mean_client_energy_j), stats::fmt_pct(o.medium_utilization),
            stats::fmt_pct(o.server_utilization), std::to_string(o.answers)});
   }
   emit(t, p.get_flag("csv"));
+  if (obs_paths.enabled()) write_obs_outputs(obs_paths, named, nullptr);
   return 0;
 }
 
