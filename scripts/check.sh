@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# The full local gate, in dependency order:
+#   1. configure + build (default preset, build/)
+#   2. ctest       — unit/integration suites + lint_src + header check
+#   3. mosaiq-lint — explicit run over src/ tests/ bench/ for a readable
+#                    report (ctest's lint_src covers src/ only)
+#   4. header self-containment (scripts/check_headers.sh)
+#   5. [--san]     ASan+UBSan preset: full rebuild + full ctest
+#   6. [--san]     TSan preset: rebuild + the threaded suites only
+#
+# Usage: scripts/check.sh [--san]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+san=0
+[ "${1:-}" = "--san" ] && san=1
+
+echo "==> configure + build (default preset)"
+cmake --preset default
+cmake --build --preset default -j"$(nproc)"
+
+echo "==> ctest (default preset)"
+ctest --preset default -j"$(nproc)"
+
+echo "==> mosaiq-lint over src/ tests/ bench/"
+# tests/lint_fixtures seeds violations on purpose; lint the suites only.
+./build/tools/lint/mosaiq-lint src \
+  $(find tests bench -maxdepth 1 \( -name '*.cpp' -o -name '*.hpp' \))
+
+echo "==> header self-containment"
+scripts/check_headers.sh
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "==> clang-tidy (baseline .clang-tidy)"
+  clang-tidy --quiet -p build $(find src -name '*.cpp') || true
+else
+  echo "==> clang-tidy not on PATH; skipping (mosaiq-lint is the enforced gate)"
+fi
+
+if [ "$san" = 1 ]; then
+  echo "==> ASan+UBSan: full suite"
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j"$(nproc)"
+  ctest --preset asan-ubsan -j"$(nproc)"
+
+  echo "==> TSan: threaded suites (test_parallel, test_fleet, test_obs)"
+  cmake --preset tsan
+  cmake --build --preset tsan -j"$(nproc)" \
+    --target test_parallel test_fleet test_obs
+  ctest --preset tsan -j"$(nproc)"
+fi
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must
+# compile as the sole content of a translation unit.  This is the
+# ground-truth backing for mosaiq-lint's include-hygiene rule (the lint
+# catches the *common* gaps fast; this catches all of them exactly).
+#
+# Usage: scripts/check_headers.sh [header ...]
+#   With no arguments, checks every .hpp under src/.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-g++}"
+JOBS="${JOBS:-$(nproc)}"
+
+if [ "$#" -gt 0 ]; then
+  headers=("$@")
+else
+  mapfile -t headers < <(find src -name '*.hpp' | sort)
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+check_one() {
+  local hdr="$1"
+  local tu="$tmpdir/$(echo "$hdr" | tr '/' '_').cpp"
+  printf '#include "%s"\n' "${hdr#src/}" > "$tu"
+  if ! "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Werror -Isrc "$tu" \
+      2> "$tu.err"; then
+    {
+      echo "NOT SELF-CONTAINED: $hdr"
+      sed 's/^/    /' "$tu.err"
+    } >> "$tmpdir/failures"
+  fi
+}
+
+export -f check_one
+export CXX tmpdir
+
+printf '%s\n' "${headers[@]}" |
+  xargs -P "$JOBS" -I {} bash -c 'check_one "$@"' _ {}
+
+if [ -s "$tmpdir/failures" ]; then
+  cat "$tmpdir/failures"
+  echo "header self-containment check FAILED"
+  exit 1
+fi
+echo "header self-containment check OK (${#headers[@]} headers)"

@@ -11,3 +11,14 @@ ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt
+
+# MOSAIQ_SAN=1 additionally reruns the whole suite under ASan+UBSan and
+# the threaded suites under TSan (presets in CMakePresets.json).
+if [ "${MOSAIQ_SAN:-0}" = 1 ]; then
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j"$(nproc)"
+  ctest --preset asan-ubsan -j"$(nproc)" 2>&1 | tee san_output.txt
+  cmake --preset tsan
+  cmake --build --preset tsan -j"$(nproc)"
+  ctest --preset tsan -j"$(nproc)" 2>&1 | tee -a san_output.txt
+fi

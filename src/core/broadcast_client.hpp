@@ -8,6 +8,7 @@
 // broadcast analogue of the Section 6.2 caching client).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 

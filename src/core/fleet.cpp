@@ -69,6 +69,7 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
     const Client& c = clients[k];
     const double j = c.cpu->energy().total_j() + c.nic.total_joules();
     const std::uint64_t cyc = c.cpu->busy_cycles();
+    // mosaiq-lint: allow(unsigned-wrap) — busy_cycles() is cumulative; cyc >= mark_cycles[k]
     trace->phase(name, t0, t1, j - mark_j[k], cyc - mark_cycles[k], k);
     mark_j[k] = j;
     mark_cycles[k] = cyc;

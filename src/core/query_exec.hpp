@@ -5,7 +5,10 @@
 // exactly one place.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
+#include <variant>
 #include <vector>
 
 #include "rtree/packed_rtree.hpp"

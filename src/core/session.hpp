@@ -11,6 +11,7 @@
 // traffic.  w4 = 0: no client/server overlap, as in the paper.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "core/transport.hpp"

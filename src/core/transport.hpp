@@ -74,6 +74,7 @@ class Transport {
     const net::WireCost rx = net::wire_cost(rx_payload_bytes, protocol_);
     net::charge_protocol_tx(rx, server_);
     const std::uint64_t s1 = server_.cycles();
+    // mosaiq-lint: allow(unsigned-wrap) — cycles() is a cumulative counter; s1 >= s0
     const double t_server = static_cast<double>(s1 - s0) / server_.config().clock_hz();
 
     nic_.spend(net::NicState::Idle, t_server);
@@ -182,7 +183,7 @@ class Transport {
     if (trace_ == nullptr) return;
     const Mark now = current_mark();
     trace_->phase(name, mark_.wall_s, now.wall_s, now.joules - mark_.joules,
-                  now.cycles - mark_.cycles);
+                  now.cycles - mark_.cycles);  // mosaiq-lint: allow(unsigned-wrap) — marks are cumulative-counter snapshots, now >= mark_ componentwise
     mark_ = now;
   }
 

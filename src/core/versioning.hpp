@@ -9,6 +9,7 @@
 // advanced past that snapshot".
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -7,6 +7,8 @@
 // space the workloads use.
 #pragma once
 
+#include <cmath>
+
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
 #include "geom/segment.hpp"

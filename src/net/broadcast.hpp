@@ -19,6 +19,7 @@
 // request/response.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

@@ -28,7 +28,12 @@ WireCost wire_cost(std::uint64_t payload_bytes, const ProtocolConfig& cfg) {
   WireCost w;
   w.payload_bytes = payload_bytes;
   const std::uint64_t effective = std::max<std::uint64_t>(payload_bytes, cfg.min_payload_bytes);
-  const std::uint64_t per_packet_payload = cfg.mtu_bytes - cfg.header_bytes;
+  // An all-header frame (mtu <= header) would wrap the subtraction and
+  // collapse the packet count to garbage; such a link moves one payload
+  // byte per frame at best.  Same degenerate-config handling as
+  // effective_bandwidth_mbps in net/channel_model.hpp.
+  const std::uint64_t per_packet_payload =
+      cfg.mtu_bytes > cfg.header_bytes ? cfg.mtu_bytes - cfg.header_bytes : 1;
   w.packets = static_cast<std::uint32_t>((effective + per_packet_payload - 1) / per_packet_payload);
   w.wire_bytes = payload_bytes + std::uint64_t{w.packets} * cfg.header_bytes;
   return w;

@@ -18,6 +18,7 @@
 // chosen adaptively.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

@@ -6,6 +6,7 @@
 // must return identical answer sets for every query.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

@@ -12,6 +12,7 @@
 // bench/ext_index_structures.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

@@ -15,6 +15,7 @@
 // filtering/refinement phases.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>

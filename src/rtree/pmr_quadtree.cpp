@@ -188,7 +188,7 @@ void PmrQuadtree::filter_range(const geom::Rect& window, ExecHooks& hooks,
   }
   // Deduplicate (segments straddle cells); the sort cost is charged as
   // n log n comparison steps over the duplicated candidate list.
-  const std::size_t m = out.size() - collected0;
+  const std::size_t m = out.size() - collected0;  // mosaiq-lint: allow(unsigned-wrap) — out only grew since the collected0 snapshot
   if (m > 1) {
     std::uint64_t steps = 1;
     while ((1ull << steps) < m) ++steps;

@@ -1,6 +1,7 @@
 // The three spatial query types of the paper (Section 3).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <variant>
 #include <vector>

@@ -7,6 +7,7 @@
 // dynamic variants, and the R*-tree is the fairest dynamic contender.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

@@ -8,6 +8,7 @@
 // wire sizes are byte-faithful.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -6,6 +6,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mosaiq::serial {
@@ -75,7 +76,9 @@ class ByteReader {
     return s;
   }
 
-  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t remaining() const {
+    return data_.size() - pos_;  // mosaiq-lint: allow(unsigned-wrap) — require() maintains pos_ <= size
+  }
   bool done() const { return remaining() == 0; }
 
  private:
@@ -91,8 +94,10 @@ class ByteReader {
   }
   void require(std::size_t n) const {
     if (pos_ + n > data_.size()) {
-      throw std::out_of_range("ByteReader: truncated message (need " + std::to_string(n) +
-                              " bytes, have " + std::to_string(data_.size() - pos_) + ")");
+      throw std::out_of_range(
+          "ByteReader: truncated message (need " + std::to_string(n) + " bytes, have " +
+          // mosaiq-lint: allow(unsigned-wrap) — pos_ <= data_.size() is the class invariant
+          std::to_string(data_.size() - pos_) + ")");
     }
   }
 

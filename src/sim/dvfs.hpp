@@ -9,6 +9,7 @@
 // terms (NIC sleep, platform) eat the savings.
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -63,14 +64,15 @@ inline OperatingPoint pick_opp_for_deadline(const std::vector<OperatingPoint>& l
     if (o.clock_mhz > fastest.clock_mhz) fastest = o;
   }
   OperatingPoint best = fastest;
-  double best_energy = std::numeric_limits<double>::infinity();
+  double best_energy_rel = std::numeric_limits<double>::infinity();
   for (const OperatingPoint& o : ladder) {
     const double t = busy_cycles / (o.clock_mhz * 1e6);
     if (t > deadline_s) continue;
-    // Energy ∝ cycles · V² (cycle count is frequency-invariant).
+    // Energy ∝ cycles · V² (cycle count is frequency-invariant); only
+    // the relative ordering across operating points matters here.
     const double e = busy_cycles * o.energy_scale();
-    if (e < best_energy) {
-      best_energy = e;
+    if (e < best_energy_rel) {
+      best_energy_rel = e;
       best = o;
     }
   }

@@ -5,6 +5,7 @@
 // load (packed build is linear and deterministic).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 

@@ -10,6 +10,7 @@
 // with fresh parameters; generators are deterministic given a seed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <random>
 #include <vector>

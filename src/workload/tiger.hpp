@@ -18,6 +18,7 @@
 // Records are 228 data columns wide (plus line terminator).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>

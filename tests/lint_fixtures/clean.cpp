@@ -1,0 +1,15 @@
+// Fixture: no violations of any rule.  Expected findings: none.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+inline std::uint64_t safe_delta(std::uint64_t now_cycles, std::uint64_t then_cycles) {
+  if (then_cycles > now_cycles) return 0;
+  return now_cycles - then_cycles;
+}
+
+inline void sort_ids(std::vector<std::uint32_t>& ids) { std::sort(ids.begin(), ids.end()); }
+
+}  // namespace fixture

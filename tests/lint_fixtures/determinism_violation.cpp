@@ -1,0 +1,39 @@
+// Fixture for the determinism rule.  Expected findings: rand(),
+// std::random_device, time(nullptr), and the unordered_set range-for.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+// BAD: unseeded global generator.
+inline int roll() { return std::rand() % 6; }
+
+// BAD: a fresh nondeterministic seed every run.
+inline unsigned fresh_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+// BAD: wall-clock state in an accounting path.
+inline long stamp() { return static_cast<long>(time(nullptr)); }
+
+// BAD: iteration order of the unordered container varies run to run.
+inline long sum_all(const std::unordered_set<int>& seen) {
+  long total = 0;
+  for (const int v : seen) total += v;
+  return total;
+}
+
+// OK: membership tests and inserts are order-independent.
+inline bool dedup(std::unordered_set<int>& seen, int v) { return seen.insert(v).second; }
+
+// OK: a seeded engine is reproducible.
+inline unsigned seeded_draw() {
+  std::mt19937 rng(1234);
+  return static_cast<unsigned>(rng());
+}
+
+}  // namespace fixture

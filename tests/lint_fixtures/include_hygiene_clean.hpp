@@ -1,0 +1,17 @@
+// Fixture: the same code as include_hygiene_violation.hpp with every
+// used std facility included directly.  Expected findings: none.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace fixture {
+
+inline std::uint32_t smallest(std::vector<std::uint32_t>& v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? std::numeric_limits<std::uint32_t>::max() : v.front();
+}
+
+}  // namespace fixture

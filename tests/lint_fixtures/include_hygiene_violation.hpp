@@ -1,0 +1,15 @@
+// Fixture: header using std facilities without their direct includes.
+// Expected findings (include-hygiene): uint32_t -> <cstdint>,
+// numeric_limits -> <limits>, sort -> <algorithm>.
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+
+inline std::uint32_t smallest(std::vector<std::uint32_t>& v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? std::numeric_limits<std::uint32_t>::max() : v.front();
+}
+
+}  // namespace fixture

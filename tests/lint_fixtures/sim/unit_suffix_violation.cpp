@@ -1,0 +1,20 @@
+// Fixture for the unit-suffix rule (the sim/ path puts it in scope).
+// Expected findings: `energy`, `total_power`, and `bandwidth` carry no
+// unit token; the suffixed and dimensionless names are clean.
+#include <cstdint>
+
+namespace fixture {
+
+struct Budget {
+  double energy = 0.0;           // BAD: joules? watt-hours? cycles?
+  double total_power = 0.0;      // BAD
+  double bandwidth = 0.0;        // BAD
+  double energy_j = 0.0;         // OK
+  double wall_s = 0.0;           // OK
+  double raw_mbps = 0.0;         // OK
+  double energy_scale = 1.0;     // OK: explicitly dimensionless
+  std::uint64_t busy_cycles = 0; // OK
+  double usable_fraction = 1.0;  // OK
+};
+
+}  // namespace fixture

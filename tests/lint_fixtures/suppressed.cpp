@@ -1,0 +1,27 @@
+// Fixture: every violation here carries a suppression, so the file must
+// lint clean.  Exercises trailing comments, stand-alone comments (which
+// cover the next code line), and the file-wide form.
+// mosaiq-lint: allow-file(determinism)
+#include <cstdint>
+#include <cstdlib>
+
+namespace fixture {
+
+// Covered by the file-wide determinism allowance above.
+inline int roll() { return std::rand() % 6; }
+
+struct Proto {
+  std::uint32_t mtu_bytes = 1500;
+  std::uint32_t header_bytes = 40;
+};
+
+inline std::uint32_t trailing(const Proto& p) {
+  return p.mtu_bytes - p.header_bytes;  // mosaiq-lint: allow(unsigned-wrap) — validated upstream
+}
+
+inline std::uint32_t standalone(const Proto& p) {
+  // mosaiq-lint: allow(unsigned-wrap)
+  return p.mtu_bytes - p.header_bytes;
+}
+
+}  // namespace fixture

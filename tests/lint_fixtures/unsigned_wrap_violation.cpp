@@ -1,0 +1,35 @@
+// Fixture for the unsigned-wrap rule: the exact shape of the
+// channel_model header>=MTU bug.  Expected findings: lines marked BAD.
+#include <cstdint>
+
+namespace fixture {
+
+struct Proto {
+  std::uint32_t mtu_bytes = 1500;
+  std::uint32_t header_bytes = 40;
+};
+
+// BAD: unguarded member subtraction (suffix-typed operands).
+inline double payload_fraction_bad(const Proto& p) {
+  return static_cast<double>(p.mtu_bytes - p.header_bytes) /
+         static_cast<double>(p.mtu_bytes);
+}
+
+// OK: guarded by an explicit comparison within the lookback window.
+inline double payload_fraction_guarded(const Proto& p) {
+  if (p.mtu_bytes <= p.header_bytes) return 0.0;
+  return static_cast<double>(p.mtu_bytes - p.header_bytes) /
+         static_cast<double>(p.mtu_bytes);
+}
+
+// OK: the subtraction sits inside a clamping std::min call.
+inline std::uint64_t clamped(std::uint64_t total_bytes, std::uint64_t used_bytes) {
+  return std::min<std::uint64_t>(total_bytes - used_bytes, 4096);
+}
+
+// BAD: locally-declared unsigned operands, no guard in sight.
+inline std::uint64_t gap(std::uint64_t hi_cycles, std::uint64_t lo_cycles) {
+  return hi_cycles - lo_cycles;
+}
+
+}  // namespace fixture

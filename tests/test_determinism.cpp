@@ -1,0 +1,176 @@
+// Determinism regression for the accounting paths (ISSUE 3 satellite):
+// two identical runs must produce bit-identical stats::Outcome and
+// byte-identical trace output.  This pins down the audit of the repo's
+// two unordered_set sites — rtree/shipment.cpp's ship_hilbert_range
+// (the `shipped` set is dedup-only and is sorted into a vector before
+// any order-dependent work) and rtree/pmr_quadtree.cpp's nearest_k
+// (`reported` is dedup-only; emission order comes from the heap) — and
+// guards every future accounting path against nondeterminism creeping
+// in (hash-set iteration, wall-clock reads, unseeded randomness).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/caching_client.hpp"
+#include "core/session.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "rtree/pmr_quadtree.hpp"
+#include "rtree/shipment.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq {
+namespace {
+
+// Doubles are compared as bit patterns: "close enough" would hide
+// order-dependent summation.
+void expect_bits(double a, double b, const char* what) {
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b)) << what;
+}
+
+void expect_bit_identical(const stats::Outcome& a, const stats::Outcome& b) {
+  EXPECT_EQ(a.cycles.processor, b.cycles.processor);
+  EXPECT_EQ(a.cycles.nic_tx, b.cycles.nic_tx);
+  EXPECT_EQ(a.cycles.nic_rx, b.cycles.nic_rx);
+  EXPECT_EQ(a.cycles.wait, b.cycles.wait);
+  expect_bits(a.energy.processor_j, b.energy.processor_j, "processor_j");
+  expect_bits(a.energy.nic_tx_j, b.energy.nic_tx_j, "nic_tx_j");
+  expect_bits(a.energy.nic_rx_j, b.energy.nic_rx_j, "nic_rx_j");
+  expect_bits(a.energy.nic_idle_j, b.energy.nic_idle_j, "nic_idle_j");
+  expect_bits(a.energy.nic_sleep_j, b.energy.nic_sleep_j, "nic_sleep_j");
+  expect_bits(a.processor_detail.datapath_j, b.processor_detail.datapath_j, "datapath_j");
+  expect_bits(a.processor_detail.clock_j, b.processor_detail.clock_j, "clock_j");
+  expect_bits(a.processor_detail.icache_j, b.processor_detail.icache_j, "icache_j");
+  expect_bits(a.processor_detail.dcache_j, b.processor_detail.dcache_j, "dcache_j");
+  expect_bits(a.processor_detail.bus_j, b.processor_detail.bus_j, "bus_j");
+  expect_bits(a.processor_detail.dram_j, b.processor_detail.dram_j, "dram_j");
+  expect_bits(a.processor_detail.idle_j, b.processor_detail.idle_j, "idle_j");
+  EXPECT_EQ(a.server_cycles, b.server_cycles);
+  EXPECT_EQ(a.bytes_tx, b.bytes_tx);
+  EXPECT_EQ(a.bytes_rx, b.bytes_rx);
+  EXPECT_EQ(a.round_trips, b.round_trips);
+  EXPECT_EQ(a.answers, b.answers);
+  expect_bits(a.wall_seconds, b.wall_seconds, "wall_seconds");
+}
+
+const workload::Dataset& data() {
+  static workload::Dataset d = workload::make_pa(20000);
+  return d;
+}
+
+core::SessionConfig config(core::Scheme s) {
+  core::SessionConfig cfg;
+  cfg.scheme = s;
+  cfg.channel = {4.0, 1000.0};
+  cfg.client = sim::client_at_ratio(1.0 / 8.0);
+  return cfg;
+}
+
+struct RunResult {
+  stats::Outcome outcome;
+  std::string trace_json;
+  std::string metrics_csv;
+};
+
+/// One full caching-client run: the HilbertRange policy drives
+/// ship_hilbert_range and its `shipped` unordered_set on every fetch.
+RunResult caching_run(rtree::ShipPolicy policy) {
+  core::CachingClient cc(data(), config(core::Scheme::FullyAtClient),
+                         {512 * 1024, policy});
+  obs::TraceSink trace;
+  cc.set_trace(&trace);
+  workload::QueryGen gen(data(), /*seed=*/7);
+  for (int i = 0; i < 30; ++i) cc.run_query(gen.range_query());
+  RunResult r;
+  r.outcome = cc.outcome();
+  std::ostringstream tj;
+  obs::write_chrome_trace(tj, trace);
+  r.trace_json = tj.str();
+  std::ostringstream mc;
+  obs::write_metrics(mc, trace, &r.outcome);
+  r.metrics_csv = mc.str();
+  return r;
+}
+
+TEST(Determinism, CachingClientHilbertRangeBitIdentical) {
+  const RunResult a = caching_run(rtree::ShipPolicy::HilbertRange);
+  const RunResult b = caching_run(rtree::ShipPolicy::HilbertRange);
+  expect_bit_identical(a.outcome, b.outcome);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.metrics_csv, b.metrics_csv);
+}
+
+TEST(Determinism, CachingClientWindowExpandBitIdentical) {
+  const RunResult a = caching_run(rtree::ShipPolicy::WindowExpand);
+  const RunResult b = caching_run(rtree::ShipPolicy::WindowExpand);
+  expect_bit_identical(a.outcome, b.outcome);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+/// The shipment itself (segments, ids, node count, safe rect) must come
+/// out identical: its contents feed wire-byte accounting directly.
+TEST(Determinism, HilbertRangeShipmentContentsIdentical) {
+  const geom::Rect q{{0.45, 0.45}, {0.55, 0.55}};
+  const rtree::Shipment a = rtree::extract_shipment(
+      data().tree, data().store, q, {512 * 1024}, rtree::ShipPolicy::HilbertRange,
+      rtree::null_hooks());
+  const rtree::Shipment b = rtree::extract_shipment(
+      data().tree, data().store, q, {512 * 1024}, rtree::ShipPolicy::HilbertRange,
+      rtree::null_hooks());
+  ASSERT_EQ(a.ids.size(), b.ids.size());
+  EXPECT_EQ(a.ids, b.ids);
+  EXPECT_EQ(a.node_count, b.node_count);
+  expect_bits(a.safe_rect.lo.x, b.safe_rect.lo.x, "safe_rect.lo.x");
+  expect_bits(a.safe_rect.hi.y, b.safe_rect.hi.y, "safe_rect.hi.y");
+  for (std::size_t i = 0; i < a.ids.size(); ++i) {
+    expect_bits(a.segments[i].a.x, b.segments[i].a.x, "segment.a.x");
+    expect_bits(a.segments[i].b.y, b.segments[i].b.y, "segment.b.y");
+  }
+}
+
+/// nearest_k dedups across cells through an unordered_set; result order
+/// and distances must still be exactly reproducible.
+TEST(Determinism, PmrQuadtreeNearestKBitIdentical) {
+  const rtree::PmrQuadtree t = rtree::PmrQuadtree::build(data().store, {64, 12});
+  for (const geom::Point p :
+       {geom::Point{0.5, 0.5}, geom::Point{0.1, 0.9}, geom::Point{0.99, 0.01}}) {
+    const auto a = t.nearest_k(p, 25, data().store, rtree::null_hooks());
+    const auto b = t.nearest_k(p, 25, data().store, rtree::null_hooks());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].record, b[i].record);
+      EXPECT_EQ(a[i].id, b[i].id);
+      expect_bits(a[i].dist, b[i].dist, "nn distance");
+    }
+  }
+}
+
+/// Whole-session batches across all four schemes, traced.
+TEST(Determinism, SessionBatchesBitIdentical) {
+  using core::Scheme;
+  for (const Scheme s : {Scheme::FullyAtClient, Scheme::FullyAtServer,
+                         Scheme::FilterClientRefineServer, Scheme::FilterServerRefineClient}) {
+    auto run = [&] {
+      workload::QueryGen gen(data(), /*seed=*/11);
+      const auto queries = gen.batch(rtree::QueryKind::Range, 20);
+      obs::TraceSink trace;
+      RunResult r;
+      r.outcome = core::Session::run_batch(data(), config(s), queries, &trace);
+      std::ostringstream tj;
+      obs::write_chrome_trace(tj, trace);
+      r.trace_json = tj.str();
+      return r;
+    };
+    const RunResult a = run();
+    const RunResult b = run();
+    expect_bit_identical(a.outcome, b.outcome);
+    EXPECT_EQ(a.trace_json, b.trace_json);
+  }
+}
+
+}  // namespace
+}  // namespace mosaiq

@@ -79,6 +79,20 @@ TEST(WireCost, MtuBoundaries) {
   EXPECT_EQ(wire_cost(1461, cfg).wire_bytes, 1461u + 80u);
 }
 
+TEST(WireCost, DegenerateMtuDoesNotWrapPacketCount) {
+  // Regression: mtu <= header used to wrap `mtu - header` to ~2^32 and
+  // collapse the packet count to 1 for any payload.  Such a link now
+  // moves one payload byte per frame, mirroring channel_model's
+  // effective-bandwidth handling of the same degenerate config.
+  ProtocolConfig cfg;
+  cfg.mtu_bytes = 40;  // == header_bytes: zero payload room per frame
+  EXPECT_EQ(wire_cost(10, cfg).packets, 10u);
+  cfg.mtu_bytes = 20;  // < header_bytes
+  const WireCost w = wire_cost(10, cfg);
+  EXPECT_EQ(w.packets, 10u);
+  EXPECT_EQ(w.wire_bytes, 10u + 10u * 40u);
+}
+
 TEST(WireCost, LargeTransfer) {
   const WireCost w = wire_cost(1 << 20);
   EXPECT_EQ(w.packets, (1u << 20) / 1460 + 1);

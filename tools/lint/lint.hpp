@@ -1,0 +1,78 @@
+// mosaiq-lint core: file model, rule registry, suppression handling,
+// and reporting.  The CLI (main.cpp) and the fixture tests
+// (tests/test_lint.cpp) both sit on this API so findings can be
+// asserted exactly, in process.
+//
+// Suppressions
+//   // mosaiq-lint: allow(rule-a, rule-b)   — suppresses those rules on
+//       this line, or on the next code line when the comment stands
+//       alone on its own line.
+//   // mosaiq-lint: allow-file(rule-a)      — suppresses for the file.
+//
+// Exit-code contract of the CLI: 0 clean, 1 unsuppressed findings,
+// 2 usage or I/O error.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace mosaiq::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// One source file, lexed and indexed for the rules.
+struct SourceFile {
+  std::string path;               ///< as given (used for scoping + reports)
+  std::string text;               ///< raw bytes
+  std::vector<Token> tokens;      ///< full stream, comments included
+  std::vector<std::size_t> code;  ///< indices into tokens, comments/preproc excluded
+  std::vector<std::string> angle_includes;   ///< X from `#include <X>`
+  std::vector<std::string> quoted_includes;  ///< X from `#include "X"`
+  std::vector<std::string> lines;            ///< raw split lines (1-based via line N-1)
+
+  bool is_header() const;
+
+  /// Raw text of a 1-based line ("" when out of range).
+  const std::string& line_text(std::size_t line_no) const;
+};
+
+/// Builds the SourceFile model from raw text.
+SourceFile analyze(std::string path, std::string text);
+
+/// Reads the file from disk and analyzes it.  Throws std::runtime_error
+/// when unreadable.
+SourceFile analyze_file(const std::string& path);
+
+struct Rule {
+  std::string name;
+  std::string description;
+  void (*check)(const SourceFile&, std::vector<Finding>&);
+};
+
+/// All registered rules, in reporting order.
+const std::vector<Rule>& registry();
+
+/// Runs `rules` (all registered rules when empty) over the file and
+/// appends unsuppressed findings.
+void run_rules(const SourceFile& f, const std::vector<std::string>& rules,
+               std::vector<Finding>& out);
+
+/// Recursively collects .hpp/.cpp files under each path (a path naming
+/// a regular file is taken as-is), sorted for deterministic reports.
+std::vector<std::string> collect_sources(const std::vector<std::string>& paths);
+
+/// `file:line: [rule] message` per finding.
+std::string format_human(const std::vector<Finding>& findings);
+
+/// JSON array of {rule, file, line, message}.
+std::string format_json(const std::vector<Finding>& findings);
+
+}  // namespace mosaiq::lint

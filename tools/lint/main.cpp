@@ -1,0 +1,95 @@
+// mosaiq-lint CLI.
+//
+//   mosaiq-lint [--json] [--rules a,b] [--list-rules] <file|dir>...
+//
+// Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mosaiq-lint [--json] [--rules a,b] [--list-rules] <file|dir>...\n"
+               "exit codes: 0 clean, 1 findings, 2 usage/io error\n");
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mosaiq::lint;
+  bool json = false;
+  std::vector<std::string> rules;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--rules") {
+      if (++i >= argc) return usage();
+      rules = split_csv(argv[i]);
+    } else if (arg == "--list-rules") {
+      for (const Rule& r : registry()) std::printf("%-16s %s\n", r.name.c_str(), r.description.c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  for (const std::string& r : rules) {
+    const auto& reg = registry();
+    const bool known = std::any_of(reg.begin(), reg.end(),
+                                   [&](const Rule& x) { return x.name == r; });
+    if (!known) {
+      std::fprintf(stderr, "mosaiq-lint: unknown rule '%s' (try --list-rules)\n", r.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<Finding> findings;
+  std::size_t n_files = 0;
+  try {
+    for (const std::string& file : collect_sources(paths)) {
+      run_rules(analyze_file(file), rules, findings);
+      ++n_files;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mosaiq-lint: %s\n", e.what());
+    return 2;
+  }
+
+  if (json) {
+    std::cout << format_json(findings);
+  } else {
+    std::cout << format_human(findings);
+    std::fprintf(stderr, "mosaiq-lint: %zu finding(s) across %zu file(s)\n", findings.size(),
+                 n_files);
+  }
+  return findings.empty() ? 0 : 1;
+}

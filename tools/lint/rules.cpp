@@ -1,0 +1,540 @@
+// The four mosaiq-lint rule families.  Each is motivated by a bug that
+// actually shipped in this repo (see ISSUE history / CONTRIBUTING.md):
+//
+//   include-hygiene  headers using std facilities without the direct
+//                    #include (the <limits>/<algorithm>/<cstdint> class)
+//   unsigned-wrap    unsigned - unsigned feeding arithmetic unguarded
+//                    (the channel_model header>=MTU bandwidth bug)
+//   determinism      wall-clock / unseeded randomness / unordered-
+//                    container iteration on accounting paths
+//   unit-suffix      physical-quantity identifiers in sim|net|stats|obs
+//                    must carry a unit token so joules never add to
+//                    seconds silently
+//
+// All checks are token-level heuristics: they prefer missing an exotic
+// construction over crashing or flooding; the sanitizer matrix and the
+// standalone-header compile check back them with ground truth.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace mosaiq::lint {
+
+namespace {
+
+const Token& tok(const SourceFile& f, std::size_t k) { return f.tokens[f.code[k]]; }
+bool is_punct(const SourceFile& f, std::size_t k, std::string_view p) {
+  return k < f.code.size() && tok(f, k).kind == TokKind::Punct && tok(f, k).text == p;
+}
+bool is_ident(const SourceFile& f, std::size_t k) {
+  return k < f.code.size() && tok(f, k).kind == TokKind::Identifier;
+}
+
+// ---------------------------------------------------------------------------
+// include-hygiene
+
+/// std symbol -> headers any one of which satisfies the direct-include
+/// requirement.  Covers the std facilities this repo uses; extend as
+/// new ones appear (the standalone-header compile check is the
+/// backstop for anything missing here).
+const std::map<std::string, std::vector<std::string>>& symbol_providers() {
+  static const std::map<std::string, std::vector<std::string>> m = [] {
+    std::map<std::string, std::vector<std::string>> p;
+    auto add = [&](std::initializer_list<const char*> syms,
+                   std::initializer_list<const char*> headers) {
+      for (const char* s : syms) p[s].assign(headers.begin(), headers.end());
+    };
+    add({"uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t", "int32_t",
+         "int64_t", "uintptr_t", "intptr_t", "uintmax_t", "intmax_t"},
+        {"cstdint"});
+    add({"size_t", "ptrdiff_t", "nullptr_t"}, {"cstddef", "cstdlib", "cstring", "cstdio"});
+    add({"numeric_limits"}, {"limits"});
+    add({"sort", "stable_sort", "nth_element", "partial_sort", "max", "min", "clamp",
+         "minmax", "max_element", "min_element", "all_of", "any_of", "none_of", "find",
+         "find_if", "copy", "copy_n", "fill", "fill_n", "transform", "unique",
+         "lower_bound", "upper_bound", "equal_range", "binary_search", "remove",
+         "remove_if", "rotate", "reverse", "shuffle", "count_if", "merge", "push_heap",
+         "pop_heap", "make_heap"},
+        {"algorithm"});
+    add({"accumulate", "iota", "reduce", "inner_product", "partial_sum"}, {"numeric"});
+    add({"sqrt", "pow", "fabs", "ceil", "floor", "round", "lround", "llround", "trunc",
+         "exp", "exp2", "log", "log2", "log10", "hypot", "isnan", "isinf", "isfinite",
+         "fmod", "fmin", "fmax", "cos", "sin", "tan", "acos", "asin", "atan", "atan2",
+         "cbrt", "copysign", "nextafter"},
+        {"cmath"});
+    add({"abs"}, {"cmath", "cstdlib"});
+    add({"memcpy", "memset", "memcmp", "memmove", "strlen", "strcmp", "strncmp"},
+        {"cstring"});
+    add({"vector"}, {"vector"});
+    add({"string", "to_string", "stoi", "stol", "stoul", "stoull", "stod", "stof",
+         "getline"},
+        {"string"});
+    add({"string_view"}, {"string_view"});
+    add({"array"}, {"array"});
+    add({"span"}, {"span"});
+    add({"optional", "nullopt", "make_optional"}, {"optional"});
+    add({"variant", "get_if", "holds_alternative", "visit", "monostate"}, {"variant"});
+    add({"unordered_map", "unordered_multimap"}, {"unordered_map"});
+    add({"unordered_set", "unordered_multiset"}, {"unordered_set"});
+    add({"map", "multimap"}, {"map"});
+    add({"set", "multiset"}, {"set"});
+    add({"deque"}, {"deque"});
+    add({"queue", "priority_queue"}, {"queue"});
+    add({"stack"}, {"stack"});
+    add({"pair", "make_pair", "move", "forward", "swap", "exchange", "declval"},
+        {"utility"});
+    add({"get"}, {"utility", "tuple", "variant", "array"});
+    add({"tuple", "make_tuple", "tie", "apply"}, {"tuple"});
+    add({"unique_ptr", "shared_ptr", "weak_ptr", "make_unique", "make_shared"},
+        {"memory"});
+    add({"function", "hash", "reference_wrapper", "ref", "cref"}, {"functional"});
+    add({"mt19937", "mt19937_64", "minstd_rand", "random_device", "seed_seq",
+         "uniform_int_distribution", "uniform_real_distribution", "normal_distribution",
+         "bernoulli_distribution", "exponential_distribution", "discrete_distribution"},
+        {"random"});
+    add({"thread", "jthread", "this_thread"}, {"thread"});
+    add({"mutex", "lock_guard", "unique_lock", "scoped_lock", "shared_mutex", "once_flag",
+         "call_once"},
+        {"mutex"});
+    add({"atomic", "atomic_flag", "memory_order_relaxed", "memory_order_acquire",
+         "memory_order_release", "memory_order_seq_cst"},
+        {"atomic"});
+    add({"condition_variable"}, {"condition_variable"});
+    add({"future", "promise", "async", "packaged_task"}, {"future"});
+    add({"chrono"}, {"chrono"});
+    add({"ostream", "ios_base", "streamsize"},
+        {"ostream", "iostream", "fstream", "sstream", "iosfwd"});
+    add({"istream"}, {"istream", "iostream", "fstream", "sstream", "iosfwd"});
+    add({"ofstream", "ifstream", "fstream"}, {"fstream"});
+    add({"ostringstream", "istringstream", "stringstream"}, {"sstream"});
+    add({"cout", "cerr", "cin", "endl", "flush"}, {"iostream"});
+    add({"setw", "setprecision", "setfill"}, {"iomanip"});
+    add({"runtime_error", "invalid_argument", "logic_error", "out_of_range",
+         "domain_error", "length_error", "overflow_error"},
+        {"stdexcept"});
+    add({"exception", "terminate", "current_exception", "rethrow_exception"},
+        {"exception"});
+    add({"assert"}, {"cassert"});
+    add({"exit", "getenv", "strtoul", "strtod", "atoi", "atol", "malloc", "free"},
+        {"cstdlib"});
+    add({"printf", "fprintf", "snprintf", "sscanf", "fopen", "fclose", "FILE"},
+        {"cstdio"});
+    add({"initializer_list"}, {"initializer_list"});
+    add({"bitset"}, {"bitset"});
+    add({"byte"}, {"cstddef"});
+    add({"filesystem"}, {"filesystem"});
+    add({"is_same_v", "enable_if_t", "decay_t", "conditional_t", "is_integral_v",
+         "is_floating_point_v", "is_arithmetic_v", "remove_cvref_t", "is_trivially_copyable_v"},
+        {"type_traits"});
+    return p;
+  }();
+  return m;
+}
+
+/// Names the repo legitimately writes without the std:: qualifier.
+const std::set<std::string>& bare_std_names() {
+  static const std::set<std::string> s = {
+      "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t",  "int16_t",
+      "int32_t", "int64_t",  "size_t",   "assert",   "memcpy",  "memset",
+      "memcmp",  "strlen",   "printf",   "fprintf",  "snprintf"};
+  return s;
+}
+
+void check_include_hygiene(const SourceFile& f, std::vector<Finding>& out) {
+  if (!f.is_header()) return;  // .cpp self-containment comes via its own build
+  const auto& providers = symbol_providers();
+  const std::set<std::string> have(f.angle_includes.begin(), f.angle_includes.end());
+  std::set<std::string> reported;
+
+  for (std::size_t k = 0; k < f.code.size(); ++k) {
+    if (!is_ident(f, k)) continue;
+    const std::string& name = tok(f, k).text;
+    const bool qualified =
+        k >= 2 && is_punct(f, k - 1, "::") && is_ident(f, k - 2) &&
+        tok(f, k - 2).text == "std" && !(k >= 3 && is_punct(f, k - 3, "::"));
+    if (!qualified) {
+      if (!bare_std_names().count(name)) continue;
+      // A bare name introduced by a member access is not a std use.
+      if (k >= 1 && (is_punct(f, k - 1, ".") || is_punct(f, k - 1, "->") ||
+                     is_punct(f, k - 1, "::")))
+        continue;
+    }
+    const auto it = providers.find(name);
+    if (it == providers.end()) continue;
+    const bool satisfied = std::any_of(it->second.begin(), it->second.end(),
+                                       [&](const std::string& h) { return have.count(h); });
+    if (satisfied || !reported.insert(name).second) continue;
+    out.push_back({"include-hygiene", f.path, tok(f, k).line,
+                   "uses " + std::string(qualified ? "std::" : "") + name +
+                       " without a direct #include <" + it->second.front() +
+                       "> (header must be self-contained)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unsigned-wrap
+
+bool has_unsigned_suffix(const std::string& name) {
+  static const std::set<std::string> kSuffixes = {"bytes", "cycles",  "count", "packets",
+                                                  "words", "bits",    "entries"};
+  const std::size_t us = name.rfind('_');
+  const std::string last = (us == std::string::npos) ? name : name.substr(us + 1);
+  return kSuffixes.count(last) != 0;
+}
+
+/// Names declared with an unsigned/sized type anywhere in the file.
+std::set<std::string> unsigned_decls(const SourceFile& f) {
+  static const std::set<std::string> kTypes = {"uint8_t", "uint16_t", "uint32_t",
+                                               "uint64_t", "uintptr_t", "size_t",
+                                               "unsigned"};
+  std::set<std::string> names;
+  for (std::size_t k = 0; k + 1 < f.code.size(); ++k) {
+    if (!is_ident(f, k) || !kTypes.count(tok(f, k).text)) continue;
+    std::size_t j = k + 1;
+    if (tok(f, k).text == "unsigned" && is_ident(f, j)) {
+      static const std::set<std::string> kInts = {"int", "long", "short", "char"};
+      if (kInts.count(tok(f, j).text)) ++j;
+    }
+    if (is_ident(f, j)) names.insert(tok(f, j).text);
+  }
+  return names;
+}
+
+/// Walks a member chain ending at code index `k` backwards; returns the
+/// chain's source text ("proto.mtu_bytes") and its terminal identifier,
+/// or an empty needle when the expression is too complex to judge.
+struct Chain {
+  std::string needle;    ///< textual needle for guard detection
+  std::string terminal;  ///< identifier deciding unsignedness
+  bool member = false;   ///< terminal reached via . -> :: (a foreign member)
+  bool size_call = false;  ///< terminal is a .size()/.length() call
+};
+
+Chain walk_left(const SourceFile& f, std::size_t k) {
+  Chain c;
+  std::size_t end = k;
+  // `x.size() - y` / `x.length() - y`: unsigned by construction.
+  if (is_punct(f, k, ")") && k >= 2 && is_punct(f, k - 1, "(") && is_ident(f, k - 2)) {
+    const std::string& fn = tok(f, k - 2).text;
+    if (fn != "size" && fn != "length") return c;
+    c.terminal = fn;
+    c.size_call = true;
+    end = k - 2;
+  } else if (is_ident(f, k)) {
+    c.terminal = tok(f, k).text;
+    end = k;
+  } else {
+    return c;
+  }
+  std::size_t start = end;
+  while (start >= 2 && (is_punct(f, start - 1, ".") || is_punct(f, start - 1, "->") ||
+                        is_punct(f, start - 1, "::")) &&
+         is_ident(f, start - 2)) {
+    start -= 2;
+  }
+  c.member = start != end;
+  for (std::size_t i = start; i <= end; ++i) c.needle += tok(f, i).text;
+  if (c.size_call) c.needle += "()";  // mirror walk_right's spelling
+  return c;
+}
+
+Chain walk_right(const SourceFile& f, std::size_t k) {
+  Chain c;
+  if (!is_ident(f, k)) return c;
+  std::size_t end = k;
+  while (end + 2 < f.code.size() &&
+         (is_punct(f, end + 1, ".") || is_punct(f, end + 1, "->") ||
+          is_punct(f, end + 1, "::")) &&
+         is_ident(f, end + 2)) {
+    end += 2;
+  }
+  c.terminal = tok(f, end).text;
+  c.member = end != k;
+  for (std::size_t i = k; i <= end; ++i) c.needle += tok(f, i).text;
+  if (is_punct(f, end + 1, "(")) {
+    if (c.terminal == "size" || c.terminal == "length") {
+      c.needle += "()";  // keep; unsigned by construction
+      c.size_call = true;
+    } else {
+      c.needle.clear();  // arbitrary call: too complex to judge
+    }
+  }
+  return c;
+}
+
+/// True when the `-` at code index k sits inside a clamping call
+/// (std::min/max/clamp or assert): the enclosing call is the guard.
+bool inside_clamping_call(const SourceFile& f, std::size_t k) {
+  static const std::set<std::string> kClamps = {"min", "max", "clamp", "assert"};
+  int depth = 0;
+  const std::size_t lookback = k > 64 ? k - 64 : 0;
+  for (std::size_t j = k; j-- > lookback;) {
+    if (is_punct(f, j, ")")) ++depth;
+    else if (is_punct(f, j, "(")) {
+      if (depth > 0) {
+        --depth;
+      } else {
+        // Unmatched '(': identify its callee, skipping an explicit
+        // template argument list (std::min<std::uint64_t>(...)).
+        std::size_t m = j;
+        if (m >= 1 && is_punct(f, m - 1, ">")) {
+          int angles = 0;
+          while (m-- > lookback) {
+            if (is_punct(f, m, ">")) ++angles;
+            else if (is_punct(f, m, ">>")) angles += 2;
+            else if (is_punct(f, m, "<") && --angles == 0) break;
+          }
+        }
+        if (m >= 1 && m <= j && is_ident(f, m - 1) && kClamps.count(tok(f, m - 1).text))
+          return true;
+      }
+    } else if (depth == 0 && (is_punct(f, j, ";") || is_punct(f, j, "{") ||
+                              is_punct(f, j, "}"))) {
+      break;
+    }
+  }
+  return false;
+}
+
+/// A guard is a *direct comparison* of the two subtraction operands
+/// within the preceding `kGuardLookbackLines` lines (either order, any
+/// of < > <= >= == !=).  Token-level on purpose: template angle
+/// brackets on the same line (static_cast<double>(a - b), the original
+/// channel_model bug shape) must not read as comparisons.
+constexpr std::size_t kGuardLookbackLines = 8;
+
+bool guarded(const SourceFile& f, std::size_t line, const Chain& a, const Chain& b) {
+  static const std::set<std::string> kCmp = {"<", ">", "<=", ">=", "==", "!="};
+  const std::size_t first = line > kGuardLookbackLines ? line - kGuardLookbackLines : 1;
+  for (std::size_t k = 1; k + 1 < f.code.size(); ++k) {
+    const Token& t = tok(f, k);
+    if (t.kind != TokKind::Punct || !kCmp.count(t.text)) continue;
+    if (t.line < first || t.line > line) continue;
+    const Chain lhs = walk_left(f, k - 1);
+    const Chain rhs = walk_right(f, k + 1);
+    if (lhs.needle.empty() || rhs.needle.empty()) continue;
+    if ((lhs.needle == a.needle && rhs.needle == b.needle) ||
+        (lhs.needle == b.needle && rhs.needle == a.needle))
+      return true;
+  }
+  return false;
+}
+
+void check_unsigned_wrap(const SourceFile& f, std::vector<Finding>& out) {
+  const std::set<std::string> declared = unsigned_decls(f);
+  auto is_unsigned_term = [&](const Chain& c) {
+    if (c.needle.empty()) return false;
+    if (c.size_call) return true;
+    // A member of a foreign struct is judged only by its unit suffix:
+    // file-local declarations say nothing about its type (a local
+    // `uint32_t x` must not taint a `rect.lo.x` double).
+    if (c.member) return has_unsigned_suffix(c.terminal);
+    return declared.count(c.terminal) != 0 || has_unsigned_suffix(c.terminal);
+  };
+
+  for (std::size_t k = 1; k + 1 < f.code.size(); ++k) {
+    if (!is_punct(f, k, "-")) continue;
+    const Chain lhs = walk_left(f, k - 1);
+    const Chain rhs = walk_right(f, k + 1);
+    if (!is_unsigned_term(lhs) || !is_unsigned_term(rhs)) continue;
+    const std::size_t line = tok(f, k).line;
+    if (inside_clamping_call(f, k)) continue;
+    if (guarded(f, line, lhs, rhs)) continue;
+    out.push_back({"unsigned-wrap", f.path, line,
+                   "unsigned subtraction '" + lhs.needle + " - " + rhs.needle +
+                       "' with no preceding guard: wraps to a huge value when " +
+                       rhs.needle + " > " + lhs.needle});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+
+bool in_workload_dir(const std::string& path) {
+  return path.find("workload/") != std::string::npos;
+}
+
+void check_determinism(const SourceFile& f, std::vector<Finding>& out) {
+  // (a) nondeterministic sources outside seeded workload generation.
+  if (!in_workload_dir(f.path)) {
+    for (std::size_t k = 0; k < f.code.size(); ++k) {
+      if (!is_ident(f, k)) continue;
+      const std::string& name = tok(f, k).text;
+      const bool member = k >= 1 && (is_punct(f, k - 1, ".") || is_punct(f, k - 1, "->"));
+      const bool foreign_ns = k >= 2 && is_punct(f, k - 1, "::") && is_ident(f, k - 2) &&
+                              tok(f, k - 2).text != "std";
+      if (member || foreign_ns) continue;
+      if (name == "random_device") {
+        out.push_back({"determinism", f.path, tok(f, k).line,
+                       "std::random_device yields a different run every time; accounting "
+                       "paths must draw from an explicitly seeded engine"});
+        continue;
+      }
+      if ((name == "rand" || name == "srand") && is_punct(f, k + 1, "(")) {
+        out.push_back({"determinism", f.path, tok(f, k).line,
+                       name + "() is unseeded global state; use a seeded engine from "
+                             "workload generation instead"});
+        continue;
+      }
+      if ((name == "time" || name == "clock") && is_punct(f, k + 1, "(")) {
+        // Only the C forms time(nullptr|0|NULL|&x) / clock().
+        const bool c_form =
+            (name == "clock" && is_punct(f, k + 2, ")")) ||
+            (name == "time" && k + 2 < f.code.size() &&
+             (tok(f, k + 2).text == "nullptr" || tok(f, k + 2).text == "NULL" ||
+              tok(f, k + 2).text == "0" || is_punct(f, k + 2, "&")));
+        if (c_form) {
+          out.push_back({"determinism", f.path, tok(f, k).line,
+                         name + "() reads wall-clock state; simulation accounting must "
+                               "not depend on real time"});
+        }
+      }
+    }
+  }
+
+  // (b) range-for over an unordered container: iteration order varies
+  // across libstdc++ versions/hash seeds, so results that feed
+  // stats::Outcome, breakdown tables, or traces diverge.
+  static const std::set<std::string> kUnordered = {"unordered_set", "unordered_map",
+                                                   "unordered_multiset",
+                                                   "unordered_multimap"};
+  std::set<std::string> unordered_names;
+  for (std::size_t k = 0; k + 1 < f.code.size(); ++k) {
+    if (!is_ident(f, k) || !kUnordered.count(tok(f, k).text)) continue;
+    if (!is_punct(f, k + 1, "<")) continue;
+    int depth = 0;
+    std::size_t j = k + 1;
+    const std::size_t limit = std::min(f.code.size(), k + 64);
+    for (; j < limit; ++j) {
+      if (is_punct(f, j, "<")) ++depth;
+      else if (is_punct(f, j, ">") && --depth == 0) break;
+      else if (is_punct(f, j, ">>") && (depth -= 2) == 0) break;
+    }
+    // Skip ref/pointer/cv tokens between the template close and the name.
+    std::size_t n = j + 1;
+    while (n < f.code.size() &&
+           (is_punct(f, n, "&") || is_punct(f, n, "*") ||
+            (is_ident(f, n) && tok(f, n).text == "const")))
+      ++n;
+    if (n < f.code.size() && is_ident(f, n)) unordered_names.insert(tok(f, n).text);
+  }
+  if (unordered_names.empty()) return;
+  for (std::size_t k = 0; k + 1 < f.code.size(); ++k) {
+    if (!is_ident(f, k) || tok(f, k).text != "for" || !is_punct(f, k + 1, "(")) continue;
+    std::size_t depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t j = k + 1; j < f.code.size(); ++j) {
+      if (is_punct(f, j, "(")) ++depth;
+      else if (is_punct(f, j, ")") && --depth == 0) {
+        close = j;
+        break;
+      } else if (depth == 1 && is_punct(f, j, ":"))
+        colon = j;
+    }
+    if (!colon || !close) continue;
+    std::string last_ident;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (is_ident(f, j)) last_ident = tok(f, j).text;
+    }
+    if (unordered_names.count(last_ident)) {
+      out.push_back({"determinism", f.path, tok(f, k).line,
+                     "iterating unordered container '" + last_ident +
+                         "': order is nondeterministic; sort into a vector first when the "
+                         "result feeds accounting or traces"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unit-suffix
+
+bool in_quantity_dir(const std::string& path) {
+  for (const char* d : {"sim/", "net/", "stats/", "obs/"}) {
+    const std::size_t at = path.find(d);
+    if (at != std::string::npos && (at == 0 || path[at - 1] == '/')) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> name_parts(const std::string& name) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (const char c : name) {
+    if (c == '_') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+void check_unit_suffix(const SourceFile& f, std::vector<Finding>& out) {
+  if (!in_quantity_dir(f.path)) return;
+  static const std::set<std::string> kQuantity = {
+      "energy", "power",    "bandwidth", "latency", "duration", "delay",
+      "charge", "voltage",  "capacity",  "distance", "speed",   "throughput",
+      "temperature"};
+  static const std::set<std::string> kUnit = {
+      "j",     "nj",     "mj",      "uj",    "kj",    "s",       "ms",    "us",
+      "ns",    "mbps",   "kbps",    "gbps",  "bps",   "hz",      "khz",   "mhz",
+      "ghz",   "w",      "mw",      "kw",    "uw",    "nw",      "v",     "mv",
+      "mah",   "ah",     "cycles",  "cycle", "bytes", "byte",    "kb",    "mb",
+      "gb",    "bits",   "bit",     "m",     "km",    "um",      "mm",    "cm",
+      "pct",   "percent", "frac",   "fraction", "ratio", "scale", "factor", "per",
+      "rel",   "joules", "seconds", "watts", "volts", "error"};
+  static const std::set<std::string> kArith = {"double", "float", "uint64_t", "uint32_t",
+                                               "int64_t", "int32_t"};
+
+  for (std::size_t k = 0; k + 1 < f.code.size(); ++k) {
+    if (!is_ident(f, k) || !kArith.count(tok(f, k).text)) continue;
+    if (k >= 1 && (is_punct(f, k - 1, ".") || is_punct(f, k - 1, "->"))) continue;
+    if (!is_ident(f, k + 1)) continue;
+    // Declarator only: `double X` then `= ; { , )`.
+    if (!(is_punct(f, k + 2, "=") || is_punct(f, k + 2, ";") || is_punct(f, k + 2, "{") ||
+          is_punct(f, k + 2, ",") || is_punct(f, k + 2, ")")))
+      continue;
+    const std::string& name = tok(f, k + 1).text;
+    const std::vector<std::string> parts = name_parts(name);
+    const bool quantity = std::any_of(parts.begin(), parts.end(),
+                                      [&](const std::string& p) { return kQuantity.count(p); });
+    const bool has_unit = std::any_of(parts.begin(), parts.end(),
+                                      [&](const std::string& p) { return kUnit.count(p); });
+    if (quantity && !has_unit) {
+      out.push_back({"unit-suffix", f.path, tok(f, k + 1).line,
+                     "physical quantity '" + name +
+                         "' carries no unit token (_j/_s/_mbps/_cycles/_bytes, ...): "
+                         "unit-less accounting identifiers are how joules end up added "
+                         "to seconds"});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Rule>& registry() {
+  static const std::vector<Rule> rules = {
+      {"include-hygiene",
+       "headers must directly include the std headers of the symbols they use",
+       check_include_hygiene},
+      {"unsigned-wrap",
+       "unsigned subtraction must be guarded against wrap before feeding arithmetic",
+       check_unsigned_wrap},
+      {"determinism",
+       "no wall-clock/unseeded randomness or unordered iteration on accounting paths",
+       check_determinism},
+      {"unit-suffix",
+       "physical-quantity identifiers in sim|net|stats|obs carry unit suffixes",
+       check_unit_suffix},
+  };
+  return rules;
+}
+
+}  // namespace mosaiq::lint

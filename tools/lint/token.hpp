@@ -1,0 +1,37 @@
+// Minimal C++ tokenizer for mosaiq-lint.  Not a real front end: it
+// splits source into identifiers, numbers, literals, punctuation, and
+// comments with line numbers — enough for the token-level rules to
+// pattern-match without a libclang dependency.  Preprocessor lines are
+// kept whole (one token per logical line, backslash continuations
+// folded) so `#include` parsing stays trivial.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mosaiq::lint {
+
+enum class TokKind {
+  Identifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  Number,      ///< numeric literal (pp-number, incl. suffixes)
+  String,      ///< "..." or R"(...)" (text excludes quotes)
+  CharLit,     ///< '...'
+  Punct,       ///< operator / punctuation, longest-match (e.g. "->", "::")
+  Comment,     ///< // or /* */ (text excludes delimiters)
+  Preproc,     ///< a whole # directive line, continuations folded
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t line;  ///< 1-based line of the token's first character
+};
+
+/// Tokenizes `source`.  Unterminated literals/comments are tolerated
+/// (the remainder becomes one token): the linter must never crash on
+/// malformed input, only under-report.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace mosaiq::lint
