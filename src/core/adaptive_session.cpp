@@ -20,10 +20,10 @@ AdaptiveSession::AdaptiveSession(const workload::Dataset& dataset, const Session
                                  Objective objective)
     : session_(dataset, base), planner_(dataset, env_from(base)), objective_(objective) {}
 
-void AdaptiveSession::run_query(const rtree::Query& q) {
+QueryStatus AdaptiveSession::run_query(const rtree::Query& q) {
   const Scheme s = planner_.choose(q, objective_, session_.client_hooks());
   ++choices_[static_cast<std::size_t>(s)];
-  session_.run_query_as(q, s);
+  return session_.run_query_as(q, s);
 }
 
 }  // namespace mosaiq::core

@@ -18,7 +18,9 @@ class AdaptiveSession {
   AdaptiveSession(const workload::Dataset& dataset, const SessionConfig& base,
                   Objective objective);
 
-  void run_query(const rtree::Query& q);
+  /// Plans and executes one query; the status propagates from the
+  /// underlying Session (always Ok on a fault-free link).
+  QueryStatus run_query(const rtree::Query& q);
 
   stats::Outcome outcome() { return session_.outcome(); }
 

@@ -12,7 +12,12 @@ CachingClient::CachingClient(const workload::Dataset& master, const SessionConfi
       client_((validate_config(base), base.client)),
       server_(base.server),
       transport_(base.channel, base.nic_power, base.protocol, base.wait_policy, client_,
-                 server_) {}
+                 server_) {
+  if (cfg_.fault.enabled()) {
+    fault_.emplace(cfg_.fault);
+    transport_.set_fault(&*fault_, cfg_.retry);
+  }
+}
 
 std::uint64_t CachingClient::cached_bytes() const {
   if (!has_cache_) return 0;
@@ -28,11 +33,7 @@ void CachingClient::run_local(const rtree::RangeQuery& q) {
   transport_.settle_sleep();
 }
 
-void CachingClient::fetch_and_run(const rtree::RangeQuery& q) {
-  // Discard whatever was cached (paper: "it throws away all the data it
-  // has") and request a fresh shipment sized to the budget.
-  has_cache_ = false;
-
+QueryStatus CachingClient::fetch_and_run(const rtree::RangeQuery& q) {
   serial::QueryRequest req;
   req.op = serial::RemoteOp::ShipRegion;
   req.query = q;
@@ -40,7 +41,7 @@ void CachingClient::fetch_and_run(const rtree::RangeQuery& q) {
   req.mem_budget = caching_.budget_bytes;
 
   rtree::Shipment shipment;
-  transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
+  const ExchangeStatus st = transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
     shipment = rtree::extract_shipment(master_.tree, master_.store, q.window,
                                        {caching_.budget_bytes}, caching_.policy, server_);
     serial::ShipmentResponse resp;
@@ -49,9 +50,28 @@ void CachingClient::fetch_and_run(const rtree::RangeQuery& q) {
     resp.records.resize(shipment.segments.size());
     return resp.encoded_size();
   });
+  if (st != ExchangeStatus::Delivered) {
+    // The fetch died.  The paper's protocol would have discarded the
+    // cache before re-requesting; keeping the stale shipment around
+    // instead lets the client degrade to a best-effort local answer
+    // (possibly missing objects outside the stale safe rectangle)
+    // rather than fail outright.
+    obs::TraceSink* trace = transport_.trace();
+    if (!has_cache_) {
+      ++failed_;
+      if (trace != nullptr) trace->counter("failed-queries", 1);
+      return QueryStatus::Failed;
+    }
+    ++degraded_;
+    if (trace != nullptr) trace->counter("degraded-queries", 1);
+    run_local(q);
+    return QueryStatus::DegradedLocal;
+  }
 
   // Install: the receive path already copied the payload into client
   // memory; the shipment becomes the client's store + index in place.
+  // Only now is the old cache discarded (paper: "it throws away all
+  // the data it has") — a failed fetch above keeps it for degradation.
   cached_store_ = rtree::SegmentStore(std::move(shipment.segments), shipment.ids);
   cached_tree_ = rtree::PackedRTree::build(cached_store_, rtree::SortOrder::PreSorted);
   safe_rect_ = shipment.safe_rect;
@@ -59,9 +79,10 @@ void CachingClient::fetch_and_run(const rtree::RangeQuery& q) {
   ++fetches_;
 
   run_local(q);
+  return QueryStatus::Ok;
 }
 
-void CachingClient::run_query(const rtree::RangeQuery& q) {
+QueryStatus CachingClient::run_query(const rtree::RangeQuery& q) {
   obs::TraceSink* trace = transport_.trace();
   const bool hit = has_cache_ && safe_rect_.contains(q.window);
   if (trace != nullptr) {
@@ -69,22 +90,26 @@ void CachingClient::run_query(const rtree::RangeQuery& q) {
     trace->begin(hit ? "cache-hit" : "cache-fetch", transport_.wall_seconds());
     trace->counter(hit ? "cache-local-hits" : "cache-fetches", 1);
   }
+  QueryStatus status = QueryStatus::Ok;
   if (hit) {
     ++local_hits_;
     run_local(q);
   } else {
-    fetch_and_run(q);
+    status = fetch_and_run(q);
   }
   if (trace != nullptr) {
     transport_.settle_sleep();
     trace->end(transport_.wall_seconds());
     if (!hit) trace->counter("cache-shipped-bytes", static_cast<double>(cached_bytes()));
   }
+  return status;
 }
 
 stats::Outcome CachingClient::outcome() {
   stats::Outcome o = transport_.snapshot();
   o.answers = answers_;
+  o.queries_degraded = degraded_;
+  o.queries_failed = failed_;
   return o;
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/session.hpp"
 #include "rtree/shipment.hpp"
@@ -30,7 +31,11 @@ class CachingClient {
                 const CachingConfig& caching);
 
   /// Executes one range query (the Figure-10 workload is range-only).
-  void run_query(const rtree::RangeQuery& q);
+  /// On a fault-free link the status is always Ok.  When a shipment
+  /// fetch exhausts the transport's retry budget, a client that still
+  /// holds a (stale) cache answers from it best-effort (DegradedLocal);
+  /// with nothing cached the query is Failed.
+  QueryStatus run_query(const rtree::RangeQuery& q);
 
   stats::Outcome outcome();
 
@@ -50,7 +55,7 @@ class CachingClient {
 
  private:
   void run_local(const rtree::RangeQuery& q);
-  void fetch_and_run(const rtree::RangeQuery& q);
+  QueryStatus fetch_and_run(const rtree::RangeQuery& q);
 
   const workload::Dataset& master_;
   SessionConfig cfg_;
@@ -58,6 +63,7 @@ class CachingClient {
   sim::ClientCpu client_;
   sim::ServerCpu server_;
   Transport transport_;
+  std::optional<net::LinkFaultModel> fault_;
 
   rtree::SegmentStore cached_store_;
   rtree::PackedRTree cached_tree_;
@@ -67,6 +73,8 @@ class CachingClient {
   std::uint64_t answers_ = 0;
   std::uint32_t local_hits_ = 0;
   std::uint32_t fetches_ = 0;
+  std::uint32_t degraded_ = 0;
+  std::uint32_t failed_ = 0;
 };
 
 }  // namespace mosaiq::core

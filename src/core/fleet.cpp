@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <queue>
 
 #include "serial/messages.hpp"
@@ -19,6 +20,8 @@ namespace {
 struct Demand {
   double tx_air_s = 0;
   double rx_air_s = 0;
+  std::uint64_t tx_payload_bytes = 0;  // request payload (for fault re-planning)
+  std::uint64_t rx_payload_bytes = 0;  // response payload (for fault re-planning)
   bool remote = false;
   std::vector<std::uint32_t> candidates;  // for refine-at-server schemes
 };
@@ -34,6 +37,7 @@ struct Client {
   Demand demand;
   std::vector<double> latencies;
   std::uint64_t answers = 0;
+  std::uint64_t answers_at_issue = 0;  ///< rollback point for a lost exchange
 };
 
 struct Event {
@@ -51,6 +55,19 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
   validate_config(base);
   const double bits_per_s = base.channel.bandwidth_mbps * 1e6;
   const std::uint64_t ctrl = net::control_bytes(0, base.protocol);
+  const double t_ctrl_s = static_cast<double>(ctrl * 8) / bits_per_s;
+
+  // One seeded fault process for the one shared medium; legs consult it
+  // in event order, which the queue's (time, client) tie-break makes
+  // deterministic.
+  std::optional<net::LinkFaultModel> fault;
+  if (base.fault.enabled()) fault.emplace(base.fault);
+  std::uint32_t degraded = 0;
+  std::uint32_t failed = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  double wasted_tx_j = 0;
+  double wasted_rx_j = 0;
 
   sim::ServerCpu server(base.server);  // shared: caches see all clients
   double medium_free = 0;
@@ -91,24 +108,31 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
     events.push({c.ready_at, k});
   }
 
+  // Full local execution on client c (the FullyAtClient scheme; also
+  // the degraded fallback when a data-holding client loses the link).
+  auto run_local_full = [&](Client& c, const rtree::Query& q) {
+    const double busy0 = c.cpu->busy_seconds();
+    if (const auto* kq = std::get_if<rtree::KnnQuery>(&q)) {
+      c.answers += dataset.tree.nearest_k(kq->p, kq->k, dataset.store, *c.cpu).size();
+    } else if (const auto* nq = std::get_if<rtree::NNQuery>(&q)) {
+      if (dataset.tree.nearest(nq->p, dataset.store, *c.cpu)) ++c.answers;
+    } else {
+      std::vector<std::uint32_t> cand;
+      std::vector<std::uint32_t> ids;
+      filter_query(dataset, q, *c.cpu, cand);
+      refine_query(dataset, q, cand, *c.cpu, ids);
+      c.answers += ids.size();
+    }
+    return c.cpu->busy_seconds() - busy0;
+  };
+
   // Client-side w1: compute + protocol-tx; fills in c.demand.
   auto run_client_work = [&](Client& c, const rtree::Query& q) {
     c.demand = Demand{};
     const double busy0 = c.cpu->busy_seconds();
 
     if (base.scheme == Scheme::FullyAtClient) {
-      if (const auto* kq = std::get_if<rtree::KnnQuery>(&q)) {
-        c.answers += dataset.tree.nearest_k(kq->p, kq->k, dataset.store, *c.cpu).size();
-      } else if (const auto* nq = std::get_if<rtree::NNQuery>(&q)) {
-        if (dataset.tree.nearest(nq->p, dataset.store, *c.cpu)) ++c.answers;
-      } else {
-        std::vector<std::uint32_t> cand;
-        std::vector<std::uint32_t> ids;
-        filter_query(dataset, q, *c.cpu, cand);
-        refine_query(dataset, q, cand, *c.cpu, ids);
-        c.answers += ids.size();
-      }
-      return c.cpu->busy_seconds() - busy0;
+      return run_local_full(c, q);
     }
 
     // Remote schemes: client-side portion + request assembly.
@@ -126,6 +150,7 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
     const net::WireCost tx = net::wire_cost(req.encoded_size(), base.protocol);
     net::charge_protocol_tx(tx, *c.cpu);
     c.demand.remote = true;
+    c.demand.tx_payload_bytes = req.encoded_size();
     c.demand.tx_air_s = static_cast<double>((tx.wire_bytes + ctrl) * 8) / bits_per_s;
     return c.cpu->busy_seconds() - busy0;
   };
@@ -169,6 +194,7 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
 
     const net::WireCost rx = net::wire_cost(rx_payload, base.protocol);
     net::charge_protocol_tx(rx, server);
+    c.demand.rx_payload_bytes = rx_payload;
     c.demand.rx_air_s = static_cast<double>((rx.wire_bytes + ctrl) * 8) / bits_per_s;
     return static_cast<double>(server.cycles() - s0) / base.server.clock_hz();
   };
@@ -191,6 +217,41 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
   // Stages: 0 issue (after think), 1 medium-for-tx, 2 server, 3
   // medium-for-rx, 4 completion/unpack.
   double makespan = 0;
+
+  // A leg whose retry budget ran out: the query leaves the network
+  // path.  Data-holding clients re-execute locally (degraded); others
+  // drop the query (failed, no latency sample).  Either way the client
+  // schedules its next query — a dead link must never stall the fleet.
+  auto finish_off_network = [&](std::uint32_t k, double now) {
+    Client& c = clients[k];
+    const rtree::Query& q = c.queries[c.next_query];
+    // Discard answers the server may have counted during this exchange
+    // (stage 2 runs before a downlink loss is known): the client never
+    // received them, and the local re-run below recounts from scratch.
+    c.answers = c.answers_at_issue;
+    double done = now;
+    if (base.placement.data_at_client) {
+      ++degraded;
+      if (trace != nullptr) trace->counter("degraded-queries", 1);
+      const double dt = run_local_full(c, q);
+      c.nic.spend(net::NicState::Sleep, dt);
+      done = now + dt;
+      emit(k, "degraded-local", now, done);
+      c.latencies.push_back(done - c.issue_time);
+    } else {
+      ++failed;
+      if (trace != nullptr) trace->counter("failed-queries", 1);
+    }
+    makespan = std::max(makespan, done);
+    c.stage = 0;
+    ++c.next_query;
+    if (c.next_query < c.queries.size()) {
+      c.nic.spend(net::NicState::Sleep, fleet.think_time_s);
+      emit(k, "think", done, done + fleet.think_time_s);
+      events.push({done + fleet.think_time_s, k});
+    }
+  };
+
   while (!events.empty()) {
     const Event ev = events.top();
     events.pop();
@@ -200,6 +261,7 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
     switch (c.stage) {
       case 0: {
         c.issue_time = ev.time;
+        c.answers_at_issue = c.answers;
         const double dt = run_client_work(c, q);
         c.nic.spend(net::NicState::Sleep, dt);
         emit(ev.client, "w1-compute", ev.time, ev.time + dt);
@@ -221,6 +283,36 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
       }
       case 1: {  // claim the medium for the uplink
         const double start = std::max(ev.time, medium_free) + c.nic.sleep_exit();
+        if (fault) {
+          const net::TransferPlan plan = net::plan_transfer(
+              *fault, c.demand.tx_payload_bytes, base.protocol.mtu_bytes,
+              base.protocol.header_bytes, bits_per_s, base.retry, start);
+          const double tx_air_s = plan.air_s + t_ctrl_s;
+          const double end = start + tx_air_s + plan.wait_s;
+          medium_free = end;  // the retransmission episode holds the channel
+          medium_busy += tx_air_s;
+          c.nic.spend(net::NicState::Idle, start - ev.time);
+          emit(ev.client, "medium-wait", ev.time, start);
+          if (trace != nullptr) trace->counter("medium-wait-s", start - ev.time);
+          c.nic.spend(net::NicState::Transmit, tx_air_s);
+          c.nic.spend(net::NicState::Idle, plan.wait_s);
+          c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+          emit(ev.client, "tx", start, end);
+          retransmissions += plan.retransmissions;
+          timeouts += plan.timeouts;
+          wasted_tx_j += 1e-3 * c.nic.power().tx_mw(c.nic.distance_m()) * plan.wasted_air_s;
+          if (trace != nullptr && plan.timeouts > 0) {
+            trace->counter("retransmissions", plan.retransmissions);
+            trace->counter("timeouts", plan.timeouts);
+          }
+          if (!plan.delivered) {
+            finish_off_network(ev.client, end);
+            break;
+          }
+          c.stage = 2;
+          events.push({end, ev.client});
+          break;
+        }
         const double end = start + c.demand.tx_air_s;
         medium_free = end;
         medium_busy += c.demand.tx_air_s;
@@ -251,6 +343,36 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
       }
       case 3: {  // claim the medium for the downlink
         const double start = std::max(ev.time, medium_free);
+        if (fault) {
+          const net::TransferPlan plan = net::plan_transfer(
+              *fault, c.demand.rx_payload_bytes, base.protocol.mtu_bytes,
+              base.protocol.header_bytes, bits_per_s, base.retry, start);
+          const double rx_air_s = plan.air_s + t_ctrl_s;
+          const double end = start + rx_air_s + plan.wait_s;
+          medium_free = end;
+          medium_busy += rx_air_s;
+          c.nic.spend(net::NicState::Idle, start - ev.time);
+          emit(ev.client, "medium-wait", ev.time, start);
+          if (trace != nullptr) trace->counter("medium-wait-s", start - ev.time);
+          c.nic.spend(net::NicState::Receive, rx_air_s);
+          c.nic.spend(net::NicState::Idle, plan.wait_s);
+          c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+          emit(ev.client, "rx", start, end);
+          retransmissions += plan.retransmissions;
+          timeouts += plan.timeouts;
+          wasted_rx_j += 1e-3 * c.nic.power().rx_mw * plan.wasted_air_s;
+          if (trace != nullptr && plan.timeouts > 0) {
+            trace->counter("retransmissions", plan.retransmissions);
+            trace->counter("timeouts", plan.timeouts);
+          }
+          if (!plan.delivered) {
+            finish_off_network(ev.client, end);
+            break;
+          }
+          c.stage = 4;
+          events.push({end, ev.client});
+          break;
+        }
         const double end = start + c.demand.rx_air_s;
         medium_free = end;
         medium_busy += c.demand.rx_air_s;
@@ -306,6 +428,12 @@ FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& ba
     out.medium_utilization = medium_busy / makespan;
     out.server_utilization = server_busy / makespan;
   }
+  out.queries_degraded = degraded;
+  out.queries_failed = failed;
+  out.retransmissions = retransmissions;
+  out.timeouts = timeouts;
+  out.wasted_tx_j = wasted_tx_j;
+  out.wasted_rx_j = wasted_rx_j;
   return out;
 }
 

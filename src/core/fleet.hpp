@@ -45,10 +45,23 @@ struct FleetOutcome {
   double medium_utilization = 0;    ///< airtime / makespan
   double server_utilization = 0;    ///< server busy / makespan
   std::uint64_t answers = 0;
+
+  // Link-fault accounting (all zero on a fault-free medium; see
+  // base.fault / base.retry on the SessionConfig).
+  std::uint32_t queries_degraded = 0;  ///< fell back to local execution
+  std::uint32_t queries_failed = 0;    ///< no data to fall back on
+  std::uint64_t retransmissions = 0;   ///< frames re-sent fleet-wide
+  std::uint64_t timeouts = 0;          ///< timeout expiries fleet-wide
+  double wasted_tx_j = 0;              ///< TX energy of undelivered frames
+  double wasted_rx_j = 0;              ///< RX energy of undelivered frames
 };
 
 /// Runs the fleet under `base.scheme` (FullyAtClient runs contention-free
-/// by construction and serves as the scaling baseline).
+/// by construction and serves as the scaling baseline).  When
+/// `base.fault` is enabled, every uplink/downlink leg runs against one
+/// shared seeded fault model (it is one shared medium): a leg that
+/// exhausts `base.retry`'s budget degrades the query to local execution
+/// (data at the client) or drops it, and the fleet keeps serving.
 FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& base,
                        const FleetConfig& fleet);
 

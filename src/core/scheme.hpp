@@ -33,6 +33,24 @@ struct DataPlacement {
   bool data_at_client = true;
 };
 
+/// How one query ended.  Fault-free execution always reports Ok; the
+/// other states only arise on a faulty link whose retry budget ran out
+/// (core/transport.hpp).
+enum class QueryStatus : std::uint8_t {
+  Ok,             ///< executed under the configured scheme
+  DegradedLocal,  ///< link failed; answered from client-resident data
+  Failed,         ///< link failed and the client holds no data to fall back on
+};
+
+inline const char* name_of(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::Ok: return "ok";
+    case QueryStatus::DegradedLocal: return "degraded-local";
+    case QueryStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
 /// True when the scheme needs the wireless link at all.
 inline bool uses_server(Scheme s) { return s != Scheme::FullyAtClient; }
 

@@ -79,6 +79,9 @@ void validate_config(const SessionConfig& cfg) {
   if (cfg.protocol.mtu_bytes <= cfg.protocol.header_bytes) {
     throw std::invalid_argument("SessionConfig: MTU must exceed the header size");
   }
+  if (cfg.fault.enabled() && !(cfg.retry.timeout_mult > 0)) {
+    throw std::invalid_argument("SessionConfig: timeout multiple must be positive");
+  }
 }
 
 Session::Session(const workload::Dataset& dataset, const SessionConfig& cfg)
@@ -86,7 +89,12 @@ Session::Session(const workload::Dataset& dataset, const SessionConfig& cfg)
       cfg_(cfg),
       client_((validate_config(cfg), cfg.client)),
       server_(cfg.server),
-      transport_(cfg.channel, cfg.nic_power, cfg.protocol, cfg.wait_policy, client_, server_) {}
+      transport_(cfg.channel, cfg.nic_power, cfg.protocol, cfg.wait_policy, client_, server_) {
+  if (cfg_.fault.enabled()) {
+    fault_.emplace(cfg_.fault);
+    transport_.set_fault(&*fault_, cfg_.retry);
+  }
+}
 
 void Session::run_fully_at_client(const rtree::Query& q) {
   if (is_filterable(q)) {
@@ -103,13 +111,32 @@ void Session::run_fully_at_client(const rtree::Query& q) {
   transport_.settle_sleep();
 }
 
-void Session::run_fully_at_server(const rtree::Query& q) {
+QueryStatus Session::degrade(const rtree::Query& q, std::uint64_t answers_before) {
+  // server_work may have counted answers before the response was lost;
+  // the client never saw them.
+  answers_ = answers_before;
+  obs::TraceSink* trace = transport_.trace();
+  if (!cfg_.placement.data_at_client) {
+    ++failed_;
+    if (trace != nullptr) trace->counter("failed-queries", 1);
+    return QueryStatus::Failed;
+  }
+  // Data replicated at the client (the paper's adequate-memory setup):
+  // re-execute the whole query locally, paying client-CPU energy.
+  ++degraded_;
+  if (trace != nullptr) trace->counter("degraded-queries", 1);
+  run_fully_at_client(q);
+  return QueryStatus::DegradedLocal;
+}
+
+QueryStatus Session::run_fully_at_server(const rtree::Query& q) {
   serial::QueryRequest req;
   req.op = serial::RemoteOp::FullQuery;
   req.query = q;
   req.client_has_data = cfg_.placement.data_at_client;
 
-  transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
+  const std::uint64_t answers_before = answers_;
+  const ExchangeStatus st = transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
     if (is_filterable(q)) {
       std::vector<std::uint32_t> cand;
       std::vector<std::uint32_t> ids;
@@ -127,9 +154,11 @@ void Session::run_fully_at_server(const rtree::Query& q) {
     if (nn) ++answers_;
     return serial::NNResponse{}.encoded_size();
   });
+  if (st != ExchangeStatus::Delivered) return degrade(q, answers_before);
+  return QueryStatus::Ok;
 }
 
-void Session::run_filter_client_refine_server(const rtree::Query& q) {
+QueryStatus Session::run_filter_client_refine_server(const rtree::Query& q) {
   if (!is_filterable(q)) {
     throw std::invalid_argument(
         "nearest-neighbor queries have no filtering/refinement split to partition");
@@ -147,15 +176,18 @@ void Session::run_filter_client_refine_server(const rtree::Query& q) {
   req.client_has_data = cfg_.placement.data_at_client;
   req.candidates = cand;
 
-  transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
+  const std::uint64_t answers_before = answers_;
+  const ExchangeStatus st = transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
     std::vector<std::uint32_t> ids;
     refine_query(data_, q, cand, server_, ids);
     answers_ += ids.size();
     return answer_payload_bytes(ids.size(), cfg_.placement.data_at_client);
   });
+  if (st != ExchangeStatus::Delivered) return degrade(q, answers_before);
+  return QueryStatus::Ok;
 }
 
-void Session::run_filter_server_refine_client(const rtree::Query& q) {
+QueryStatus Session::run_filter_server_refine_client(const rtree::Query& q) {
   if (!is_filterable(q)) {
     throw std::invalid_argument(
         "nearest-neighbor queries have no filtering/refinement split to partition");
@@ -169,7 +201,8 @@ void Session::run_filter_server_refine_client(const rtree::Query& q) {
   // w2: filtering at the server; response carries candidate ids when the
   // data is replicated at the client, or the candidate records when not.
   std::vector<std::uint32_t> cand;
-  transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
+  const std::uint64_t answers_before = answers_;
+  const ExchangeStatus st = transport_.exchange(req.encoded_size(), [&]() -> std::uint64_t {
     filter_query(data_, q, server_, cand);
     if (cfg_.placement.data_at_client) {
       serial::IdListResponse r;
@@ -184,6 +217,7 @@ void Session::run_filter_server_refine_client(const rtree::Query& q) {
     r.records.resize(cand.size());
     return r.encoded_size();
   });
+  if (st != ExchangeStatus::Delivered) return degrade(q, answers_before);
 
   // w3: refinement on the client.
   if (cfg_.placement.data_at_client) {
@@ -194,11 +228,12 @@ void Session::run_filter_server_refine_client(const rtree::Query& q) {
     refine_received(data_, q, cand, client_, answers_);
   }
   transport_.settle_sleep();
+  return QueryStatus::Ok;
 }
 
-void Session::run_query(const rtree::Query& q) { run_query_as(q, cfg_.scheme); }
+QueryStatus Session::run_query(const rtree::Query& q) { return run_query_as(q, cfg_.scheme); }
 
-void Session::run_query_as(const rtree::Query& q, Scheme scheme) {
+QueryStatus Session::run_query_as(const rtree::Query& q, Scheme scheme) {
   obs::TraceSink* trace = transport_.trace();
   if (trace != nullptr) {
     // Settle so the wrapper opens exactly at this query's first phase.
@@ -206,21 +241,25 @@ void Session::run_query_as(const rtree::Query& q, Scheme scheme) {
     trace->begin(std::string(name_of(scheme)) + " " + name_of(rtree::kind_of(q)),
                  transport_.wall_seconds());
   }
+  QueryStatus status = QueryStatus::Ok;
   switch (scheme) {
     case Scheme::FullyAtClient: run_fully_at_client(q); break;
-    case Scheme::FullyAtServer: run_fully_at_server(q); break;
-    case Scheme::FilterClientRefineServer: run_filter_client_refine_server(q); break;
-    case Scheme::FilterServerRefineClient: run_filter_server_refine_client(q); break;
+    case Scheme::FullyAtServer: status = run_fully_at_server(q); break;
+    case Scheme::FilterClientRefineServer: status = run_filter_client_refine_server(q); break;
+    case Scheme::FilterServerRefineClient: status = run_filter_server_refine_client(q); break;
   }
   if (trace != nullptr) {
     transport_.settle_sleep();
     trace->end(transport_.wall_seconds());
   }
+  return status;
 }
 
 stats::Outcome Session::outcome() {
   stats::Outcome o = transport_.snapshot();
   o.answers = answers_;
+  o.queries_degraded = degraded_;
+  o.queries_failed = failed_;
   return o;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "core/transport.hpp"
@@ -29,6 +30,8 @@ struct SessionConfig {
   sim::ClientConfig client{};
   sim::ServerConfig server{};
   sim::WaitPolicy wait_policy = sim::WaitPolicy::BlockLowPower;
+  net::FaultConfig fault{};  ///< link-fault injection; disabled by default
+  net::RetryConfig retry{};  ///< timeout/backoff/budget when fault.enabled()
 };
 
 /// Rejects non-physical configurations (zero bandwidth, inverted MTU,
@@ -43,11 +46,14 @@ class Session {
   /// the session totals.  Throws std::invalid_argument for a
   /// nearest-neighbor query under a hybrid scheme (the paper's NN
   /// implementation has no filtering/refinement split to partition at).
-  void run_query(const rtree::Query& q);
+  /// On a fault-free link the status is always Ok; when the transport's
+  /// retry budget runs out, a data-holding client re-executes the whole
+  /// query locally (DegradedLocal), otherwise the query is Failed.
+  QueryStatus run_query(const rtree::Query& q);
 
   /// Executes one query under an explicit scheme, overriding the
   /// configured one (used by the adaptive planner).
-  void run_query_as(const rtree::Query& q, Scheme scheme);
+  QueryStatus run_query_as(const rtree::Query& q, Scheme scheme);
 
   /// Snapshot of the accumulated totals.
   stats::Outcome outcome();
@@ -75,16 +81,25 @@ class Session {
 
  private:
   void run_fully_at_client(const rtree::Query& q);
-  void run_fully_at_server(const rtree::Query& q);
-  void run_filter_client_refine_server(const rtree::Query& q);
-  void run_filter_server_refine_client(const rtree::Query& q);
+  QueryStatus run_fully_at_server(const rtree::Query& q);
+  QueryStatus run_filter_client_refine_server(const rtree::Query& q);
+  QueryStatus run_filter_server_refine_client(const rtree::Query& q);
+
+  /// Handles an exhausted retry budget: rolls answers back to
+  /// `answers_before`, then either re-executes the whole query locally
+  /// (DegradedLocal, data replicated at the client) or gives up
+  /// (Failed).
+  QueryStatus degrade(const rtree::Query& q, std::uint64_t answers_before);
 
   const workload::Dataset& data_;
   SessionConfig cfg_;
   sim::ClientCpu client_;
   sim::ServerCpu server_;
   Transport transport_;
+  std::optional<net::LinkFaultModel> fault_;
   std::uint64_t answers_ = 0;
+  std::uint32_t degraded_ = 0;
+  std::uint32_t failed_ = 0;
 };
 
 }  // namespace mosaiq::core

@@ -10,12 +10,24 @@
 //   IDLE while the server computes (CPU blocked)
 //   RECEIVE (CPU blocked) -> back to SLEEP
 //   protocol-rx (CPU busy, NIC sleeping)
+//
+// With a LinkFaultModel attached (set_fault) the exchange becomes a
+// reliable transport over a lossy link: every data frame consults the
+// fault model, a lost frame costs its real NIC energy and airtime but
+// delivers nothing, the sender stalls for a timeout plus deterministic
+// exponential backoff, and a bounded retry budget turns a dead link
+// into an ExchangeStatus the caller can degrade on instead of a hang.
+// Without a fault model the original code path runs unchanged and the
+// accounting stays bit-identical to the fault-free simulator.
 #pragma once
 
+#include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <utility>
 
 #include "core/scheme.hpp"
+#include "net/fault.hpp"
 #include "net/nic.hpp"
 #include "net/protocol.hpp"
 #include "obs/trace.hpp"
@@ -24,6 +36,14 @@
 #include "stats/breakdown.hpp"
 
 namespace mosaiq::core {
+
+/// How one exchange() ended under a fault model.  A fault-free
+/// transport always reports Delivered.
+enum class ExchangeStatus : std::uint8_t {
+  Delivered,     ///< request and response both arrived
+  RequestLost,   ///< retry budget exhausted on the uplink; server never ran
+  ResponseLost,  ///< server computed, but the response never arrived
+};
 
 class Transport {
  public:
@@ -39,9 +59,14 @@ class Transport {
 
   /// One request/response round trip.  `server_work()` runs between the
   /// protocol phases on the server model and returns the response
-  /// payload size in bytes.
+  /// payload size in bytes.  Only runs when the request leg delivers;
+  /// with no fault model attached it always runs and the status is
+  /// always Delivered.
   template <typename ServerWork>
-  void exchange(std::uint64_t tx_payload_bytes, ServerWork&& server_work) {
+  ExchangeStatus exchange(std::uint64_t tx_payload_bytes, ServerWork&& server_work) {
+    if (fault_ != nullptr) {
+      return exchange_faulty(tx_payload_bytes, std::forward<ServerWork>(server_work));
+    }
     const double client_hz = client_.config().clock_hz();
 
     // Flush compute pending from before the exchange into its own
@@ -55,7 +80,7 @@ class Transport {
     // duplex, takes in the server's delayed ACKs for them.
     const double bits_per_s = channel_.bandwidth_mbps * 1e6;
     const std::uint64_t ctrl_tx = net::control_bytes(0, protocol_);  // SYN/FIN etc.
-    const std::uint64_t peer_acks = net::control_bytes(tx.packets, protocol_) - ctrl_tx;
+    const std::uint64_t peer_acks = ack_share(net::control_bytes(tx.packets, protocol_), ctrl_tx);
     wall_seconds_ += nic_.sleep_exit();
     emit_phase("sleep-exit");
     const double t_tx = static_cast<double>((tx.wire_bytes + ctrl_tx) * 8) / bits_per_s;
@@ -85,7 +110,7 @@ class Transport {
 
     // RX phase: response data + server control packets come in; the
     // client transmits its own delayed ACKs.
-    const std::uint64_t my_acks = net::control_bytes(rx.packets, protocol_) - ctrl_tx;
+    const std::uint64_t my_acks = ack_share(net::control_bytes(rx.packets, protocol_), ctrl_tx);
     const double t_rx = static_cast<double>((rx.wire_bytes + ctrl_tx) * 8) / bits_per_s;
     const double t_my_acks = static_cast<double>(my_acks * 8) / bits_per_s;
     nic_.spend(net::NicState::Receive, t_rx);
@@ -107,7 +132,17 @@ class Transport {
       trace_->counter("bytes-tx", static_cast<double>(tx.wire_bytes + ctrl_tx + my_acks));
       trace_->counter("bytes-rx", static_cast<double>(rx.wire_bytes + ctrl_tx + peer_acks));
     }
+    return ExchangeStatus::Delivered;
   }
+
+  /// Attaches (or detaches, with nullptr) a link-fault model; the
+  /// retry policy governs timeout/backoff/budget.  With no model the
+  /// exchange path is untouched.
+  void set_fault(net::LinkFaultModel* fault, const net::RetryConfig& retry = {}) {
+    fault_ = fault;
+    retry_ = retry;
+  }
+  const net::LinkFaultModel* fault() const { return fault_; }
 
   /// Attribute client busy time since the last call as NIC-sleep wall
   /// time.  Call after local compute phases and before reading totals.
@@ -143,12 +178,140 @@ class Transport {
     o.bytes_rx = bytes_rx_;
     o.round_trips = round_trips_;
     o.wall_seconds = wall_seconds_;
+    o.retransmissions = retransmissions_;
+    o.timeouts = timeouts_;
+    o.wasted_tx_j = wasted_tx_j_;
+    o.wasted_rx_j = wasted_rx_j_;
     return o;
   }
 
   const net::Nic& nic() const { return nic_; }
 
  private:
+  /// ACK share of one side's control traffic: total control minus the
+  /// connection-control floor (SYN/FIN).  control_bytes() is monotone
+  /// in its packet argument, so the subtraction cannot wrap; the
+  /// assert documents (and in debug builds enforces) the invariant the
+  /// unsigned-wrap lint rule guards against.
+  static std::uint64_t ack_share(std::uint64_t total_ctrl_bytes,
+                                 std::uint64_t floor_ctrl_bytes) {
+    assert(total_ctrl_bytes >= floor_ctrl_bytes);
+    return total_ctrl_bytes - floor_ctrl_bytes;
+  }
+
+  /// Fault-mode exchange: same Figure-1 schedule, but both data legs
+  /// run frame-by-frame against the fault model under the retry
+  /// policy.  Aborts (and reports which leg died) when a frame's retry
+  /// budget is exhausted.
+  template <typename ServerWork>
+  ExchangeStatus exchange_faulty(std::uint64_t tx_payload_bytes, ServerWork&& server_work) {
+    const double client_hz = client_.config().clock_hz();
+
+    if (trace_ != nullptr) settle_sleep();
+    const net::WireCost tx = net::wire_cost(tx_payload_bytes, protocol_);
+    net::charge_protocol_tx(tx, client_);
+    settle_sleep_as("protocol-tx");
+
+    const std::uint64_t ctrl_tx = net::control_bytes(0, protocol_);
+    const std::uint64_t peer_acks = ack_share(net::control_bytes(tx.packets, protocol_), ctrl_tx);
+    wall_seconds_ += nic_.sleep_exit();
+    emit_phase("sleep-exit");
+
+    // Uplink: data + control frames against the fault model.
+    const net::TransferPlan up = run_faulty_leg(tx_payload_bytes, ctrl_tx, /*is_tx=*/true);
+    bytes_tx_ += up.air_bytes + ctrl_tx;
+    if (!up.delivered) return ExchangeStatus::RequestLost;
+    // Half duplex: the server's delayed ACKs for the delivered frames.
+    absorb_acks(peer_acks, /*transmit=*/false);
+    bytes_rx_ += peer_acks;
+
+    const std::uint64_t s0 = server_.cycles();
+    net::charge_protocol_rx(tx, server_);
+    const std::uint64_t rx_payload_bytes = server_work();
+    const net::WireCost rx = net::wire_cost(rx_payload_bytes, protocol_);
+    net::charge_protocol_tx(rx, server_);
+    const std::uint64_t s1 = server_.cycles();
+    // mosaiq-lint: allow(unsigned-wrap) — cycles() is a cumulative counter; s1 >= s0
+    const double t_server = static_cast<double>(s1 - s0) / server_.config().clock_hz();
+    nic_.spend(net::NicState::Idle, t_server);
+    client_.wait_seconds(t_server, wait_policy_);
+    cycles_.wait += static_cast<std::uint64_t>(std::llround(t_server * client_hz));
+    wall_seconds_ += t_server;
+    emit_phase("server-wait");
+
+    // Downlink: response data + control frames against the fault model.
+    const std::uint64_t my_acks = ack_share(net::control_bytes(rx.packets, protocol_), ctrl_tx);
+    const net::TransferPlan down = run_faulty_leg(rx_payload_bytes, ctrl_tx, /*is_tx=*/false);
+    bytes_rx_ += down.air_bytes + ctrl_tx;
+    if (!down.delivered) return ExchangeStatus::ResponseLost;
+    absorb_acks(my_acks, /*transmit=*/true);
+    bytes_tx_ += my_acks;
+
+    net::charge_protocol_rx(rx, client_);
+    settle_sleep_as("protocol-rx");
+
+    ++round_trips_;
+    if (trace_ != nullptr) {
+      trace_->counter("round-trips", 1);
+      trace_->counter("bytes-tx", static_cast<double>(up.air_bytes + ctrl_tx + my_acks));
+      trace_->counter("bytes-rx", static_cast<double>(down.air_bytes + ctrl_tx + peer_acks));
+    }
+    return ExchangeStatus::Delivered;
+  }
+
+  /// One data leg under the fault model: airtime (including the leg's
+  /// control bytes and every retransmission) in TRANSMIT or RECEIVE,
+  /// timeout + backoff stalls in IDLE, and the energy of frames that
+  /// never delivered recorded as waste.
+  net::TransferPlan run_faulty_leg(std::uint64_t payload_bytes, std::uint64_t ctrl_bytes,
+                                   bool is_tx) {
+    const double client_hz = client_.config().clock_hz();
+    const double bits_per_s = channel_.bandwidth_mbps * 1e6;
+    const net::TransferPlan plan =
+        net::plan_transfer(*fault_, payload_bytes, protocol_.mtu_bytes, protocol_.header_bytes,
+                           bits_per_s, retry_, wall_seconds_);
+    const double t_ctrl = static_cast<double>(ctrl_bytes * 8) / bits_per_s;
+    const double t_air = plan.air_s + t_ctrl;
+    nic_.spend(is_tx ? net::NicState::Transmit : net::NicState::Receive, t_air);
+    client_.wait_seconds(t_air, wait_policy_);
+    (is_tx ? cycles_.nic_tx : cycles_.nic_rx) +=
+        static_cast<std::uint64_t>(std::llround(t_air * client_hz));
+    wall_seconds_ += t_air;
+    emit_phase(is_tx ? "tx" : "rx");
+    if (plan.wait_s > 0) {
+      nic_.spend(net::NicState::Idle, plan.wait_s);
+      client_.wait_seconds(plan.wait_s, wait_policy_);
+      cycles_.wait += static_cast<std::uint64_t>(std::llround(plan.wait_s * client_hz));
+      wall_seconds_ += plan.wait_s;
+      emit_phase("retx-wait");
+    }
+    const double air_w = 1e-3 * (is_tx ? nic_.power().tx_mw(nic_.distance_m())
+                                       : nic_.power().rx_mw);
+    const double waste_j = air_w * plan.wasted_air_s;
+    (is_tx ? wasted_tx_j_ : wasted_rx_j_) += waste_j;
+    retransmissions_ += plan.retransmissions;
+    timeouts_ += plan.timeouts;
+    if (trace_ != nullptr && plan.timeouts > 0) {
+      trace_->counter("retransmissions", plan.retransmissions);
+      trace_->counter("timeouts", plan.timeouts);
+      trace_->counter(is_tx ? "wasted-tx-j" : "wasted-rx-j", waste_j);
+    }
+    return plan;
+  }
+
+  /// Delayed-ACK traffic for a delivered leg (client transmits its own
+  /// ACKs, receives the server's).
+  void absorb_acks(std::uint64_t ack_bytes, bool transmit) {
+    const double client_hz = client_.config().clock_hz();
+    const double bits_per_s = channel_.bandwidth_mbps * 1e6;
+    const double t_acks = static_cast<double>(ack_bytes * 8) / bits_per_s;
+    nic_.spend(transmit ? net::NicState::Transmit : net::NicState::Receive, t_acks);
+    client_.wait_seconds(t_acks, wait_policy_);
+    (transmit ? cycles_.nic_tx : cycles_.nic_rx) +=
+        static_cast<std::uint64_t>(std::llround(t_acks * client_hz));
+    wall_seconds_ += t_acks;
+    emit_phase("acks");
+  }
   /// settle_sleep with an explicit span name: exchange() uses it to
   /// label the busy delta as protocol work instead of plain compute.
   void settle_sleep_as(const char* phase_name) {
@@ -200,6 +363,13 @@ class Transport {
   std::uint32_t round_trips_ = 0;
   double wall_seconds_ = 0;
   double settled_busy_seconds_ = 0;
+
+  net::LinkFaultModel* fault_ = nullptr;
+  net::RetryConfig retry_;
+  std::uint32_t retransmissions_ = 0;
+  std::uint32_t timeouts_ = 0;
+  double wasted_tx_j_ = 0;
+  double wasted_rx_j_ = 0;
 
   obs::TraceSink* trace_ = nullptr;
   Mark mark_;

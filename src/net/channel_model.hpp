@@ -57,17 +57,25 @@ inline double effective_bandwidth_mbps(const ErrorChannelConfig& ch,
          frame_success_probability(ch.bit_error_rate, proto.mtu_bytes);
 }
 
-/// The MTU maximizing effective bandwidth at a given BER (swept over
-/// power-of-two-ish sizes above the header).
+/// Relative tolerance tying the empirical fault machinery (net/fault)
+/// to this analytic model: long-run measured transmissions per frame
+/// must match expected_transmissions() this closely (test_fault /
+/// test_channel_model share the bound).
+inline constexpr double kCalibrationRelTol = 0.02;
+
+/// The MTU maximizing effective bandwidth at a given BER, swept over
+/// 32 B steps above the header.  Takes the caller's full
+/// ProtocolConfig so non-default fields (control_packets, ack_every,
+/// min_payload_bytes) survive into the swept candidates instead of
+/// being silently reset; only mtu_bytes varies.
 inline std::uint32_t best_mtu_bytes(const ErrorChannelConfig& ch,
-                                    std::uint32_t header_bytes = 40) {
-  std::uint32_t best = header_bytes + 32;
+                                    const ProtocolConfig& proto = {}) {
+  std::uint32_t best = proto.header_bytes + 32;
   double best_bw = 0.0;
-  for (std::uint32_t mtu = header_bytes + 32; mtu <= 65536; mtu += 32) {
-    ProtocolConfig proto;
-    proto.mtu_bytes = mtu;
-    proto.header_bytes = header_bytes;
-    const double bw = effective_bandwidth_mbps(ch, proto);
+  for (std::uint32_t mtu = proto.header_bytes + 32; mtu <= 65536; mtu += 32) {
+    ProtocolConfig candidate = proto;
+    candidate.mtu_bytes = mtu;
+    const double bw = effective_bandwidth_mbps(ch, candidate);
     if (bw > best_bw) {
       best_bw = bw;
       best = mtu;

@@ -1,0 +1,178 @@
+// Link-fault model: deterministic frame loss for the wireless channel.
+//
+// The paper folds loss into an effective bandwidth (Section 4);
+// net/channel_model.hpp makes that folding analytic.  This module is
+// the *empirical* counterpart: a seeded per-frame loss process the
+// transport consults on every frame it puts on the air, so
+// retransmission energy, timeout stalls, and outage-induced failures
+// become measurable instead of being averaged away.  Three mechanisms
+// compose:
+//
+//   IndependentBer   each frame of F bytes survives with probability
+//                    (1-ber)^(8F) — the exact process
+//                    channel_model.hpp's expected_transmissions()
+//                    integrates, so long-run measured transmissions
+//                    per frame must converge to the analytic value
+//                    (tests/test_fault.cpp pins this to 2%).
+//   GilbertElliott   two-state (Good/Bad) Markov chain advanced once
+//                    per frame; each state has its own loss
+//                    probability.  Captures bursty fading the
+//                    independent model cannot.
+//   Outages          the link is down for scheduled windows [t0,t1):
+//                    either an explicit list or a deterministic
+//                    periodic schedule derived from a rate + duration.
+//
+// All randomness comes from one explicitly seeded std::mt19937_64 and
+// is consumed in simulation order only, so identical configurations
+// replay bit-identically (tests/test_determinism.cpp).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mosaiq::net {
+
+enum class LossModel : std::uint8_t { None, IndependentBer, GilbertElliott };
+
+inline const char* name_of(LossModel m) {
+  switch (m) {
+    case LossModel::None: return "none";
+    case LossModel::IndependentBer: return "ber";
+    case LossModel::GilbertElliott: return "gilbert";
+  }
+  return "?";
+}
+
+/// One scheduled link-down window: frames offered in [begin_s, end_s)
+/// are lost unconditionally.
+struct OutageWindow {
+  double begin_s = 0;
+  double end_s = 0;
+};
+
+struct FaultConfig {
+  LossModel model = LossModel::None;
+  std::uint64_t seed = 1;
+
+  /// IndependentBer: per-bit error probability (frame of F bytes
+  /// survives with probability (1-ber)^(8F)).
+  double ber = 0.0;
+
+  /// GilbertElliott: per-frame state-transition and per-state loss
+  /// probabilities.  Defaults give ~9% long-run bad-state occupancy
+  /// with total loss while bad — a bursty ~9% frame-loss channel.
+  double ge_p_good_to_bad = 0.01;
+  double ge_p_bad_to_good = 0.1;
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 1.0;
+
+  /// Periodic outage schedule: every `1/outage_rate_per_s` seconds the
+  /// link goes down for `outage_duration_s`.  Zero rate disables.
+  double outage_rate_per_s = 0.0;
+  double outage_duration_s = 0.0;
+
+  /// Explicit extra outage windows (e.g. "link gone for [2s, 5s)").
+  std::vector<OutageWindow> outages;
+
+  bool enabled() const {
+    return model != LossModel::None || outage_rate_per_s > 0.0 || !outages.empty();
+  }
+};
+
+/// Gilbert–Elliott configuration whose stationary frame-loss fraction
+/// is `loss_fraction` (total loss while Bad, none while Good): the
+/// stationary Bad occupancy pi_B = p_gb / (p_gb + p_bg) is set equal to
+/// the requested loss.  This is how the CLI's --burst-loss and the
+/// robustness bench parameterize "an L% bursty channel".
+inline FaultConfig bursty_loss_config(double loss_fraction, std::uint64_t seed,
+                                      double p_bad_to_good = 0.1) {
+  FaultConfig cfg;
+  cfg.model = LossModel::GilbertElliott;
+  cfg.seed = seed;
+  cfg.ge_p_bad_to_good = p_bad_to_good;
+  cfg.ge_p_good_to_bad =
+      loss_fraction < 1.0 ? loss_fraction * p_bad_to_good / (1.0 - loss_fraction) : 1.0;
+  cfg.ge_loss_good = 0.0;
+  cfg.ge_loss_bad = 1.0;
+  return cfg;
+}
+
+/// Retransmission policy for the reliable transport built on top of the
+/// fault model (core/transport.hpp).  A lost frame is detected after
+/// `timeout_mult` expected frame round-trips, then retransmitted after
+/// a deterministic exponential backoff; `retry_budget` consecutive
+/// losses of the same frame abort the whole exchange.
+struct RetryConfig {
+  std::uint32_t retry_budget = 6;
+  double timeout_mult = 2.0;
+};
+
+/// Timeout before a lost frame is declared missing, given the expected
+/// frame round trip.
+inline double timeout_s(double frame_rtt_s, const RetryConfig& retry) {
+  return retry.timeout_mult * frame_rtt_s;
+}
+
+/// Backoff before the `attempt`-th retransmission of a frame
+/// (attempt = 1 for the first retransmission): rtt * 2^(attempt-1),
+/// the exact deterministic exponential sequence the tests pin.
+inline double backoff_s(double frame_rtt_s, std::uint32_t attempt) {
+  double delay_s = frame_rtt_s;
+  for (std::uint32_t i = 1; i < attempt; ++i) delay_s *= 2.0;
+  return delay_s;
+}
+
+/// Seeded per-frame loss process.  deliver() consumes randomness in
+/// call order, so callers must offer frames in simulation order.
+class LinkFaultModel {
+ public:
+  explicit LinkFaultModel(const FaultConfig& cfg);
+
+  /// True when the link is inside an outage window at `time_s`.
+  bool link_down(double time_s) const;
+
+  /// Offers one frame of `frame_bytes` at `time_s`; returns whether it
+  /// arrives intact.  Outage windows lose the frame without consuming
+  /// randomness (the schedule is deterministic on its own).
+  bool deliver(std::uint32_t frame_bytes, double time_s);
+
+  std::uint64_t frames_offered() const { return frames_offered_; }
+  std::uint64_t frames_lost() const { return frames_lost_; }
+  const FaultConfig& config() const { return cfg_; }
+
+ private:
+  FaultConfig cfg_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  bool ge_bad_ = false;
+  std::uint64_t frames_offered_ = 0;
+  std::uint64_t frames_lost_ = 0;
+};
+
+/// Deterministic delivery schedule for one message transfer: frames
+/// offered in order, lost frames retransmitted under timeout + backoff
+/// until delivered or the retry budget is exhausted.  Shared by the
+/// Session transport and the fleet event loop so both account the same
+/// per-frame machinery.
+struct TransferPlan {
+  bool delivered = true;           ///< whole message arrived
+  std::uint32_t frames = 0;        ///< distinct frames in the message
+  std::uint32_t transmissions = 0; ///< frames put on the air (>= frames)
+  std::uint32_t retransmissions = 0;
+  std::uint32_t timeouts = 0;
+  std::uint64_t air_bytes = 0;  ///< wire bytes put on the air, incl. retransmissions
+  double air_s = 0;         ///< airtime spent, including retransmissions
+  double wasted_air_s = 0;  ///< airtime of frames that never arrived
+  double wait_s = 0;        ///< timeout-detection + backoff stalls
+};
+
+/// Plans the delivery of a message of `payload_bytes` (framed per
+/// `mtu_bytes`/`header_bytes`, always at least one frame) starting at
+/// `start_s` on a link of `bits_per_s`.  Advances `fault`'s RNG once
+/// (or twice, Gilbert–Elliott) per offered frame.
+TransferPlan plan_transfer(LinkFaultModel& fault, std::uint64_t payload_bytes,
+                           std::uint32_t mtu_bytes, std::uint32_t header_bytes,
+                           double bits_per_s, const RetryConfig& retry, double start_s);
+
+}  // namespace mosaiq::net

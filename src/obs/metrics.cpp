@@ -55,6 +55,17 @@ void write_metrics(std::ostream& os, const TraceSink& trace, const stats::Outcom
     os << "counter," << name << "," << stats::fmt_sci(value, 6) << "\n";
   }
   if (outcome != nullptr) {
+    // Link-fault summary: only emitted when faults occurred, so the
+    // fault-free export stays byte-identical to the pre-fault format.
+    if (outcome->retransmissions > 0 || outcome->timeouts > 0 ||
+        outcome->queries_degraded > 0 || outcome->queries_failed > 0) {
+      os << "fault,retransmissions," << outcome->retransmissions << "\n"
+         << "fault,timeouts," << outcome->timeouts << "\n"
+         << "fault,wasted_tx_j," << stats::fmt_sci(outcome->wasted_tx_j, 6) << "\n"
+         << "fault,wasted_rx_j," << stats::fmt_sci(outcome->wasted_rx_j, 6) << "\n"
+         << "fault,queries_degraded," << outcome->queries_degraded << "\n"
+         << "fault,queries_failed," << outcome->queries_failed << "\n";
+    }
     const Reconciliation r = reconcile(trace, *outcome);
     os << "reconcile,energy_error_j," << stats::fmt_sci(r.energy_error_j(), 3) << "\n"
        << "reconcile,wall_error_s," << stats::fmt_sci(r.wall_error_s(), 3) << "\n"

@@ -60,6 +60,17 @@ struct Outcome {
   std::uint32_t round_trips = 0;
   std::uint64_t answers = 0;        ///< result cardinality over the batch
   double wall_seconds = 0;
+
+  // Link-fault accounting (all zero on a fault-free link).  The wasted
+  // energies are memo fields: subsets of nic_tx_j / nic_rx_j spent on
+  // frames that never delivered, NOT extra components of total_j() —
+  // the obs conservation oracle reconciles without them.
+  std::uint32_t retransmissions = 0;  ///< frames re-sent after a timeout
+  std::uint32_t timeouts = 0;         ///< timeout expiries (lost frames detected)
+  double wasted_tx_j = 0;             ///< NIC TX energy of undelivered frames
+  double wasted_rx_j = 0;             ///< NIC RX energy of corrupted inbound frames
+  std::uint32_t queries_degraded = 0; ///< fell back to local execution
+  std::uint32_t queries_failed = 0;   ///< no data to fall back on
 };
 
 }  // namespace mosaiq::stats

@@ -18,8 +18,10 @@ TEST(ChannelModel, PerfectChannel) {
 TEST(ChannelModel, SuccessProbabilityFallsWithBerAndSize) {
   EXPECT_GT(frame_success_probability(1e-5, 100), frame_success_probability(1e-5, 1500));
   EXPECT_GT(frame_success_probability(1e-6, 1500), frame_success_probability(1e-5, 1500));
-  // ~1e-4 BER kills 1500 B frames: (1-1e-4)^12000 ~ e^-1.2.
-  EXPECT_NEAR(frame_success_probability(1e-4, 1500), std::exp(-1.2), 0.02);
+  // ~1e-4 BER kills 1500 B frames: (1-1e-4)^12000 ~ e^-1.2.  The same
+  // tolerance bounds the empirical fault model's calibration against
+  // this analytic law (test_fault.cpp).
+  EXPECT_NEAR(frame_success_probability(1e-4, 1500), std::exp(-1.2), kCalibrationRelTol);
 }
 
 TEST(ChannelModel, EffectiveBandwidthMonotoneInBer) {
@@ -60,6 +62,29 @@ TEST(ChannelModel, OptimalMtuShrinksWithBer) {
   EXPECT_GT(clean, noisy);
   EXPECT_GT(noisy, awful);
   EXPECT_GE(awful, 72u);  // never below header + minimum payload
+}
+
+TEST(ChannelModel, BestMtuHonorsTheCallersProtocolConfig) {
+  // Regression: best_mtu_bytes used to rebuild a default ProtocolConfig
+  // per candidate, silently discarding the caller's header size (and
+  // any other non-default field).  A heavier header shifts the
+  // amortization-vs-loss optimum upward, so the two sweeps must differ.
+  const ErrorChannelConfig ch{11.0, 1e-3};
+  ProtocolConfig heavy;
+  heavy.header_bytes = 200;
+  const std::uint32_t with_default = best_mtu_bytes(ch);
+  const std::uint32_t with_heavy = best_mtu_bytes(ch, heavy);
+  EXPECT_GT(with_heavy, with_default);
+  EXPECT_GE(with_heavy, heavy.header_bytes + 32);
+  // The swept candidates carry the caller's header, so the reported
+  // optimum really is the argmax of effective_bandwidth_mbps under it.
+  ProtocolConfig at_opt = heavy;
+  at_opt.mtu_bytes = with_heavy;
+  ProtocolConfig nearby = heavy;
+  nearby.mtu_bytes = with_heavy + 32;
+  EXPECT_GE(effective_bandwidth_mbps(ch, at_opt), effective_bandwidth_mbps(ch, nearby));
+  nearby.mtu_bytes = with_heavy - 32;
+  EXPECT_GE(effective_bandwidth_mbps(ch, at_opt), effective_bandwidth_mbps(ch, nearby));
 }
 
 TEST(ChannelModel, FeedsTheSimulatorAsEffectiveBandwidth) {

@@ -17,6 +17,7 @@
 
 #include "core/caching_client.hpp"
 #include "core/session.hpp"
+#include "net/fault.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "rtree/pmr_quadtree.hpp"
@@ -55,6 +56,12 @@ void expect_bit_identical(const stats::Outcome& a, const stats::Outcome& b) {
   EXPECT_EQ(a.round_trips, b.round_trips);
   EXPECT_EQ(a.answers, b.answers);
   expect_bits(a.wall_seconds, b.wall_seconds, "wall_seconds");
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  expect_bits(a.wasted_tx_j, b.wasted_tx_j, "wasted_tx_j");
+  expect_bits(a.wasted_rx_j, b.wasted_rx_j, "wasted_rx_j");
+  EXPECT_EQ(a.queries_degraded, b.queries_degraded);
+  EXPECT_EQ(a.queries_failed, b.queries_failed);
 }
 
 const workload::Dataset& data() {
@@ -169,6 +176,41 @@ TEST(Determinism, SessionBatchesBitIdentical) {
     const RunResult b = run();
     expect_bit_identical(a.outcome, b.outcome);
     EXPECT_EQ(a.trace_json, b.trace_json);
+  }
+}
+
+/// Faulty-link runs: the seeded loss process, timeout/backoff stalls,
+/// retransmission energy, and degraded-query fallbacks must all replay
+/// bit-identically — the fault RNG is consumed strictly in simulation
+/// order and nothing reads a wall clock.
+TEST(Determinism, FaultyLinkBatchesBitIdentical) {
+  using core::Scheme;
+  for (const Scheme s : {Scheme::FullyAtServer, Scheme::FilterServerRefineClient}) {
+    auto run = [&] {
+      workload::QueryGen gen(data(), /*seed=*/13);
+      const auto queries = gen.batch(rtree::QueryKind::Range, 25);
+      core::SessionConfig cfg = config(s);
+      cfg.fault = net::bursty_loss_config(0.3, /*seed=*/5);
+      cfg.fault.outage_rate_per_s = 1.0;
+      cfg.fault.outage_duration_s = 0.01;
+      cfg.retry.retry_budget = 3;
+      obs::TraceSink trace;
+      RunResult r;
+      r.outcome = core::Session::run_batch(data(), cfg, queries, &trace);
+      std::ostringstream tj;
+      obs::write_chrome_trace(tj, trace);
+      r.trace_json = tj.str();
+      std::ostringstream mc;
+      obs::write_metrics(mc, trace, &r.outcome);
+      r.metrics_csv = mc.str();
+      return r;
+    };
+    const RunResult a = run();
+    const RunResult b = run();
+    expect_bit_identical(a.outcome, b.outcome);
+    EXPECT_GT(a.outcome.retransmissions + a.outcome.timeouts, 0u);
+    EXPECT_EQ(a.trace_json, b.trace_json);
+    EXPECT_EQ(a.metrics_csv, b.metrics_csv);
   }
 }
 

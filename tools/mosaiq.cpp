@@ -66,6 +66,13 @@ sim::WaitPolicy parse_wait(const std::string& s) {
   throw std::invalid_argument("unknown wait policy '" + s + "' (expected poll|block|lowpower)");
 }
 
+net::LossModel parse_loss_model(const std::string& s) {
+  if (s == "none") return net::LossModel::None;
+  if (s == "ber") return net::LossModel::IndependentBer;
+  if (s == "gilbert") return net::LossModel::GilbertElliott;
+  throw std::invalid_argument("unknown loss model '" + s + "' (expected none|ber|gilbert)");
+}
+
 void add_common_options(cli::ArgParser& p) {
   cli::add_observability_options(p);
   p.option("dataset", "dataset: pa|nyc", "pa")
@@ -81,6 +88,17 @@ void add_common_options(cli::ArgParser& p) {
       .option("save-workload", "write the generated queries to a trace file", "-")
       .flag("data-at-server", "dataset NOT replicated at the client")
       .flag("csv", "emit CSV instead of an aligned table");
+  // Link-fault injection (all off by default: fault-free runs are
+  // bit-identical to the pre-fault simulator).
+  p.option("loss-model", "frame loss model: none|ber|gilbert", "none")
+      .option("fault-seed", "fault model RNG seed", "1")
+      .option("link-ber", "bit error rate for --loss-model ber", "1e-5")
+      .option("burst-loss", "stationary loss fraction of a bursty (Gilbert-Elliott) link;"
+                            " >0 implies --loss-model gilbert", "0")
+      .option("outage-rate", "scheduled link outages per second (0 = none)", "0")
+      .option("outage-duration", "duration of each scheduled outage, seconds", "0.05")
+      .option("retry-budget", "max retransmissions of one frame before giving up", "6")
+      .option("timeout-mult", "loss-detection timeout as a multiple of the frame RTT", "2");
 }
 
 core::SessionConfig config_from(const cli::ArgParser& p) {
@@ -89,6 +107,20 @@ core::SessionConfig config_from(const cli::ArgParser& p) {
   cfg.client = sim::client_at_ratio(p.get_double("ratio"));
   cfg.placement.data_at_client = !p.get_flag("data-at-server");
   cfg.wait_policy = parse_wait(p.get("wait"));
+
+  const auto fault_seed = static_cast<std::uint64_t>(p.get_int("fault-seed"));
+  const double burst_loss = p.get_double("burst-loss");
+  if (burst_loss > 0) {
+    cfg.fault = net::bursty_loss_config(burst_loss, fault_seed);
+  } else {
+    cfg.fault.model = parse_loss_model(p.get("loss-model"));
+    cfg.fault.seed = fault_seed;
+    cfg.fault.ber = p.get_double("link-ber");
+  }
+  cfg.fault.outage_rate_per_s = p.get_double("outage-rate");
+  cfg.fault.outage_duration_s = p.get_double("outage-duration");
+  cfg.retry.retry_budget = static_cast<std::uint32_t>(p.get_int("retry-budget"));
+  cfg.retry.timeout_mult = p.get_double("timeout-mult");
   return cfg;
 }
 
@@ -211,6 +243,14 @@ int cmd_run(int argc, const char* const* argv) {
     t.row(stats::outcome_row(p.get("scheme"), final_outcome));
   }
   emit(t, p.get_flag("csv"));
+  if (cfg.fault.enabled()) {
+    std::cout << "faults: retransmissions=" << final_outcome.retransmissions
+              << " timeouts=" << final_outcome.timeouts
+              << " wasted-tx=" << stats::fmt_joules(final_outcome.wasted_tx_j)
+              << " wasted-rx=" << stats::fmt_joules(final_outcome.wasted_rx_j)
+              << " degraded=" << final_outcome.queries_degraded
+              << " failed=" << final_outcome.queries_failed << "\n";
+  }
   if (trace != nullptr) {
     const obs::NamedTrace nt{"mosaiq run " + p.get("scheme"), &sink};
     write_obs_outputs(obs_paths, {&nt, 1}, &final_outcome);
@@ -310,8 +350,14 @@ int cmd_fleet(int argc, const char* const* argv) {
   std::vector<std::unique_ptr<obs::TraceSink>> sinks;
   std::vector<obs::NamedTrace> named;
 
-  stats::Table t({"clients", "mean latency(s)", "p95(s)", "E/client(J)", "medium util",
-                  "server util", "answers"});
+  // Fault columns only appear when fault injection is on, so fault-free
+  // output stays identical to the pre-fault driver.
+  std::vector<std::string> headers = {"clients",     "mean latency(s)", "p95(s)", "E/client(J)",
+                                      "medium util", "server util",     "answers"};
+  if (cfg.fault.enabled()) {
+    headers.insert(headers.end(), {"degraded", "failed", "retx", "wasted(J)"});
+  }
+  stats::Table t(headers);
   std::stringstream ss(p.get("clients"));
   for (std::string tok; std::getline(ss, tok, ',');) {
     core::FleetConfig fleet;
@@ -326,9 +372,16 @@ int cmd_fleet(int argc, const char* const* argv) {
       named.push_back({"fleet " + tok + " clients", sinks.back().get()});
     }
     const core::FleetOutcome o = core::run_fleet(d, cfg, fleet);
-    t.row({tok, stats::fmt_fixed(o.mean_latency_s, 3), stats::fmt_fixed(o.p95_latency_s, 3),
-           stats::fmt_joules(o.mean_client_energy_j), stats::fmt_pct(o.medium_utilization),
-           stats::fmt_pct(o.server_utilization), std::to_string(o.answers)});
+    std::vector<std::string> row = {
+        tok, stats::fmt_fixed(o.mean_latency_s, 3), stats::fmt_fixed(o.p95_latency_s, 3),
+        stats::fmt_joules(o.mean_client_energy_j), stats::fmt_pct(o.medium_utilization),
+        stats::fmt_pct(o.server_utilization), std::to_string(o.answers)};
+    if (cfg.fault.enabled()) {
+      row.insert(row.end(), {std::to_string(o.queries_degraded), std::to_string(o.queries_failed),
+                             std::to_string(o.retransmissions),
+                             stats::fmt_joules(o.wasted_tx_j + o.wasted_rx_j)});
+    }
+    t.row(row);
   }
   emit(t, p.get_flag("csv"));
   if (obs_paths.enabled()) write_obs_outputs(obs_paths, named, nullptr);
