@@ -12,7 +12,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Ablation: CPU wait policy during communication ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   workload::QueryGen gen(pa, 111);

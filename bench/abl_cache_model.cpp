@@ -12,7 +12,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Ablation: client D-cache size (fully-at-client, range, PA) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   workload::QueryGen gen(pa, 444);

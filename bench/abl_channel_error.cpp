@@ -30,7 +30,7 @@ int main() {
 
   std::cout << "\nrange queries on PA under the derived effective bandwidth (fully-at-server"
                "\n[data@client] vs the fully-at-client reference):\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   workload::QueryGen gen(pa, 654);
   const auto queries = gen.batch(rtree::QueryKind::Range, bench::kQueriesPerRun);
   const stats::Outcome local = core::Session::run_batch(

@@ -11,7 +11,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Ablation: CPU low-power mode while blocked ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   workload::QueryGen gen(pa, 222);

@@ -24,7 +24,7 @@ int main() {
   for (const workload::DatasetSpec& spec :
        {workload::uniform_spec(50000), workload::pa_spec(50000), workload::nyc_spec(50000),
         workload::corridor_spec(50000)}) {
-    const workload::Dataset d = workload::make_dataset(spec);
+    const workload::Dataset& d = bench::load(spec);
     workload::QueryGen gen(d, 777);
     const auto queries = gen.batch(rtree::QueryKind::Range, bench::kQueriesPerRun);
 

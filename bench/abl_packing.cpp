@@ -49,7 +49,7 @@ int main() {
 
   // Windows from the paper's distribution (reuse the indexed dataset
   // only to draw density-weighted centers).
-  const workload::Dataset indexed = workload::make_pa();
+  const workload::Dataset& indexed = bench::load_pa();
   workload::QueryGen gen(indexed, 333);
   std::vector<rtree::RangeQuery> windows;
   for (std::size_t i = 0; i < bench::kQueriesPerRun; ++i) windows.push_back(gen.range_query());

@@ -18,7 +18,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Ablation: server I/O model (fully-at-server range, PA, 4 Mbps) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   workload::QueryGen gen(pa, 888);

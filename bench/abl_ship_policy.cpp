@@ -12,7 +12,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Ablation: shipment policy (insufficient memory, PA, 2 Mbps) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   stats::Table t({"policy", "buffer", "proximity", "hits", "fetches", "E/query (J)",

@@ -17,7 +17,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Extension: broadcast dissemination of hot regions (PA, 2 Mbps) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   // Two downtown-core hot regions around the heaviest PA clusters

@@ -14,7 +14,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Extension: client DVFS (PA, range queries, 1 km) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   workload::QueryGen gen(pa, 321);

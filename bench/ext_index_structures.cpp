@@ -66,7 +66,7 @@ void run_index(const char* name, const Index& index, const workload::Dataset& d,
 
 int main() {
   std::cout << "=== Extension: spatial access methods on the client (PA, C/S=1/8) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   workload::QueryGen gen(pa, 555);

@@ -17,7 +17,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Extension: joint scheme x DVFS planning (PA, 1 km) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   // A representative heavy range query (downtown magnification).

@@ -15,7 +15,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Extension: k-NN queries, sweeping k (PA, C/S=1/8, 4 Mbps, 1 km) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
   std::cout << "100 kNN queries per point, uniform locations\n\n";
 

@@ -16,7 +16,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Extension: fleet scaling (PA, 2 Mbps, C/S=1/8, 1 km) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
   std::cout << "each client: 12 range queries, 1 s think time; shared medium + server\n\n";
 

@@ -16,7 +16,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Extension: pricing the one-time dataset download (PA, 1 km) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   const std::uint64_t preload_bytes = pa.data_bytes() + pa.tree.bytes();

@@ -43,7 +43,7 @@ void add_row(stats::Table& t, const std::string& label, const stats::Outcome& o)
 
 int main() {
   std::cout << "=== Extension: link-fault robustness (PA, 2 Mbps, C/S=1/8, 1 km) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   workload::QueryGen gen(pa, 42);

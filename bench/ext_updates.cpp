@@ -20,7 +20,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Extension: cache consistency under updates (PA, 4 Mbps, 1 km) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   const auto bursts =

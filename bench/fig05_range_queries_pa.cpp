@@ -18,7 +18,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Figure 5: Range Queries (PA, C/S=1/8, 1 km) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   workload::QueryGen gen(pa, 505);

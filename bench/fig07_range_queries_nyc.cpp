@@ -13,7 +13,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Figure 7: Range Queries (NYC, C/S=1/8, 1 km) ===\n";
-  const workload::Dataset nyc = workload::make_nyc();
+  const workload::Dataset& nyc = bench::load_nyc();
   bench::print_dataset_banner(nyc, std::cout);
 
   workload::QueryGen gen(nyc, 707);

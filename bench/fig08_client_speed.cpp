@@ -15,7 +15,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Figure 8: Range Queries with a Faster Client (PA, C/S=1/2, 1 km) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   workload::QueryGen gen(pa, 505);  // same workload seed as Figure 5

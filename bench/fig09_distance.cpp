@@ -13,7 +13,7 @@ using namespace mosaiq;
 
 int main() {
   std::cout << "=== Figure 9: Range Queries at 100 m Distance (PA, C/S=1/8) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
 
   workload::QueryGen gen(pa, 505);  // same workload seed as Figure 5

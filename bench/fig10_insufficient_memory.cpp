@@ -106,7 +106,7 @@ SeriesPoint run_server(const workload::Dataset& data,
 
 int main() {
   std::cout << "=== Figure 10: Insufficient Memory at Client (PA, 11 Mbps, C/S=1/8, 1 km) ===\n";
-  const workload::Dataset pa = workload::make_pa();
+  const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
   std::cout << "burst workload: 1 anchor + y locally-satisfiable follow-ups, " << kBursts
             << " bursts per point;\ncaching client ships data+index around the anchor "

@@ -3,6 +3,7 @@
 // independent of the simulation cost model.
 #include <benchmark/benchmark.h>
 
+#include "perf/build_cache.hpp"
 #include "rtree/dynamic_rtree.hpp"
 #include "rtree/hilbert_rtree.hpp"
 #include "rtree/pmr_quadtree.hpp"
@@ -16,12 +17,10 @@ using namespace mosaiq;
 namespace {
 
 const workload::Dataset& dataset(std::int64_t n) {
-  static workload::Dataset d10k = workload::make_pa(10000);
-  static workload::Dataset d50k = workload::make_pa(50000);
-  static workload::Dataset d139k = workload::make_pa(139006);
-  if (n <= 10000) return d10k;
-  if (n <= 50000) return d50k;
-  return d139k;
+  auto& cache = perf::BuildCache::shared();
+  if (n <= 10000) return *cache.dataset(workload::pa_spec(10000));
+  if (n <= 50000) return *cache.dataset(workload::pa_spec(50000));
+  return *cache.dataset(workload::pa_spec(139006));
 }
 
 void BM_PackedBuild(benchmark::State& state) {

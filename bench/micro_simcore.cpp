@@ -7,6 +7,7 @@
 #include <random>
 
 #include "hilbert/hilbert.hpp"
+#include "perf/build_cache.hpp"
 #include "sim/cache.hpp"
 #include "sim/client_cpu.hpp"
 #include "workload/dataset.hpp"
@@ -50,7 +51,7 @@ void BM_HilbertKey(benchmark::State& state) {
 BENCHMARK(BM_HilbertKey);
 
 void BM_SimulatedRangeQueryOnClientModel(benchmark::State& state) {
-  static workload::Dataset d = workload::make_pa(50000);
+  const workload::Dataset& d = *perf::BuildCache::shared().dataset(workload::pa_spec(50000));
   workload::QueryGen gen(d, 3);
   std::vector<rtree::RangeQuery> qs;
   for (int i = 0; i < 64; ++i) qs.push_back(gen.range_query());

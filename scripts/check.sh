@@ -30,6 +30,19 @@ echo "==> mosaiq-lint over src/ tests/ bench/"
 echo "==> header self-containment"
 scripts/check_headers.sh
 
+echo "==> docs <-> code consistency"
+scripts/check_docs.sh
+
+echo "==> mosaiq-bench smoke + regression gate vs BENCH_baseline.json"
+# Quick profile (3 reps, 1 warmup), then a deliberately generous gate:
+# 8.0 = new median may be up to 9x the committed baseline before the
+# gate trips.  The baseline was recorded on a different machine, so this
+# only catches order-of-magnitude pathologies (accidental O(n^2),
+# debug-build artifacts); tight tracking is same-host --compare runs.
+./build/tools/bench_runner/mosaiq-bench --quick --out build/BENCH_smoke.json
+./build/tools/bench_runner/mosaiq-bench --compare BENCH_baseline.json \
+  build/BENCH_smoke.json --tolerance 8.0
+
 if command -v clang-tidy > /dev/null 2>&1; then
   echo "==> clang-tidy (baseline .clang-tidy)"
   clang-tidy --quiet -p build $(find src -name '*.cpp') || true
@@ -43,10 +56,10 @@ if [ "$san" = 1 ]; then
   cmake --build --preset asan-ubsan -j"$(nproc)"
   ctest --preset asan-ubsan -j"$(nproc)"
 
-  echo "==> TSan: threaded suites (test_parallel, test_fleet, test_obs, test_fault)"
+  echo "==> TSan: threaded suites (test_parallel, test_perf, test_fleet, test_obs, test_fault)"
   cmake --preset tsan
   cmake --build --preset tsan -j"$(nproc)" \
-    --target test_parallel test_fleet test_obs test_fault
+    --target test_parallel test_perf test_fleet test_obs test_fault
   ctest --preset tsan -j"$(nproc)"
 fi
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Docs <-> code consistency gate (ctest: docs_consistent).
+#
+# The docs overhaul in ISSUE 5 found three recurring drift patterns,
+# each now mechanically checked:
+#   1. Every `--flag` a doc mentions must exist somewhere real — either
+#      registered as an option ("flag") in a CLI/tool source or used
+#      literally (--flag) in a script/preset.  Catches docs describing
+#      renamed or removed flags.
+#   2. Every scripts/NAME.sh a doc references must exist.
+#   3. Every build/bench/NAME, build/examples/NAME, build/tools/...
+#      binary path a doc references must have a matching source
+#      (bench/NAME*.cpp, examples/NAME.cpp, a tools/ subdirectory).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOCS=(README.md DESIGN.md EXPERIMENTS.md CONTRIBUTING.md
+      docs/TUTORIAL.md docs/MODEL.md docs/BENCHMARKING.md)
+# Everywhere a flag can legitimately be defined or consumed.
+FLAG_SOURCES=(tools/mosaiq.cpp tools/bench_runner/main.cpp
+              src/cli/args.cpp src/cli/args.hpp
+              tools/lint/*.cpp examples/*.cpp scripts/*.sh CMakePresets.json)
+# Flags owned by tools outside this repo (cmake/ctest/gtest/...) that the
+# flag sources never need to mention.
+ALLOW="help version output-on-failure gtest-filter"
+
+fail=0
+
+# --- 1. documented flags must exist ---------------------------------
+for f in $(grep -ohE -- '--[a-z][a-z0-9-]*' "${DOCS[@]}" | sort -u); do
+  name=${f#--}
+  case " $ALLOW " in *" $name "*) continue ;; esac
+  if grep -qF -- "\"$name\"" "${FLAG_SOURCES[@]}" 2>/dev/null; then continue; fi
+  if grep -qF -- "$f" "${FLAG_SOURCES[@]}" 2>/dev/null; then continue; fi
+  echo "check_docs: documented flag $f is defined nowhere in the flag sources"
+  fail=1
+done
+
+# --- 2. referenced scripts must exist -------------------------------
+for s in $(grep -ohE -- 'scripts/[A-Za-z0-9_-]+\.sh' "${DOCS[@]}" | sort -u); do
+  if [ ! -f "$s" ]; then
+    echo "check_docs: documented script $s does not exist"
+    fail=1
+  fi
+done
+
+# --- 3. referenced binaries must have sources -----------------------
+for p in $(grep -ohE -- 'build/(bench|examples)/[A-Za-z0-9_]+' "${DOCS[@]}" | sort -u); do
+  dir=$(echo "$p" | cut -d/ -f2)
+  name=${p##*/}
+  # Prefix mentions like build/bench/fig are fine when any source matches.
+  if compgen -G "$dir/${name}*.cpp" > /dev/null; then continue; fi
+  echo "check_docs: documented binary $p has no matching $dir/${name}*.cpp"
+  fail=1
+done
+for p in $(grep -ohE -- 'build/tools/[A-Za-z0-9_/-]+' "${DOCS[@]}" | sort -u); do
+  rel=${p#build/}  # e.g. tools/mosaiq, tools/lint/mosaiq-lint
+  parent=$(dirname "$rel")
+  if [ -e "$rel.cpp" ] || [ -d "$rel" ]; then continue; fi
+  if [ "$parent" != "tools" ] && [ -d "$parent" ]; then continue; fi
+  echo "check_docs: documented tool path $p has no matching source under tools/"
+  fail=1
+done
+
+if [ "$fail" = 1 ]; then
+  echo "check_docs.sh: FAILED — docs reference flags or paths the code no longer has"
+  exit 1
+fi
+echo "check_docs.sh: docs and code agree"

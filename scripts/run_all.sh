@@ -2,8 +2,16 @@
 # Regenerate everything: build, tests, every figure/ablation/extension
 # bench.  Outputs land in test_output.txt and bench_output.txt at the
 # repository root (the files EXPERIMENTS.md numbers come from).
+#
+# Usage: scripts/run_all.sh [--bench]
+#   --bench  additionally run the mosaiq-bench suite at full reps and
+#            write BENCH_local.json (compare against a past run with
+#            `mosaiq-bench --compare old.json BENCH_local.json`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+bench=0
+[ "${1:-}" = "--bench" ] && bench=1
 
 cmake -B build -G Ninja
 cmake --build build
@@ -11,6 +19,10 @@ ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt
+
+if [ "$bench" = 1 ]; then
+  ./build/tools/bench_runner/mosaiq-bench --out BENCH_local.json
+fi
 
 # MOSAIQ_SAN=1 additionally reruns the whole suite under ASan+UBSan and
 # the threaded suites under TSan (presets in CMakePresets.json).

@@ -1,0 +1,394 @@
+#include "perf/bench_json.hpp"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mosaiq::perf {
+
+namespace {
+
+// --- emission -------------------------------------------------------
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_number(std::ostream& os, double v) {
+  // Repetition times are integral nanosecond counts stored in doubles;
+  // %.17g round-trips any double exactly.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+// --- parsing: minimal recursive-descent JSON ------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  // A tagged union kept simple: only what BENCH files need.
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::shared_ptr<JsonArray> arr;
+  std::shared_ptr<JsonObject> obj;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("bench json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.str = string();
+        return v;
+      }
+      case 't':
+      case 'f': return boolean();
+      case 'n': return null();
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    v.obj = std::make_shared<JsonObject>();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = string();
+      expect(':');
+      (*v.obj)[std::move(key)] = value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    v.arr = std::make_shared<JsonArray>();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr->push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::stoul(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            // BENCH files only ever hold ASCII; keep non-ASCII as '?'.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.b = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.b = false;
+      pos_ += 5;
+    } else {
+      fail("expected boolean");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    if (s_.compare(pos_, 4, "null") != 0) fail("expected null");
+    pos_ += 4;
+    return {};
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    try {
+      v.num = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* get(const JsonObject& o, const std::string& key) {
+  const auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
+}
+
+double get_num(const JsonObject& o, const std::string& key, double fallback = 0) {
+  const JsonValue* v = get(o, key);
+  return (v != nullptr && v->kind == JsonValue::Kind::Number) ? v->num : fallback;
+}
+
+std::string get_str(const JsonObject& o, const std::string& key) {
+  const JsonValue* v = get(o, key);
+  return (v != nullptr && v->kind == JsonValue::Kind::String) ? v->str : std::string{};
+}
+
+}  // namespace
+
+void write_bench_json(std::ostream& os, const BenchFile& file) {
+  os << "{\n";
+  os << "  \"schema_version\": " << file.schema_version << ",\n";
+  os << "  \"generated_by\": \"mosaiq-bench\",\n";
+  os << "  \"host\": ";
+  json_string(os, file.host);
+  os << ",\n";
+  os << "  \"config\": {\"warmup\": " << file.config.warmup << ", \"reps\": "
+     << file.config.reps << ", \"filter\": ";
+  json_string(os, file.config.filter);
+  os << "},\n";
+  os << "  \"benchmarks\": [";
+  for (std::size_t i = 0; i < file.benchmarks.size(); ++i) {
+    const BenchResult& r = file.benchmarks[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
+    json_string(os, r.name);
+    os << ", \"reps\": " << r.reps;
+    os << ", \"median_ns\": ";
+    json_number(os, r.median_ns);
+    os << ", \"p10_ns\": ";
+    json_number(os, r.p10_ns);
+    os << ", \"p90_ns\": ";
+    json_number(os, r.p90_ns);
+    os << ", \"min_ns\": ";
+    json_number(os, r.min_ns);
+    os << ", \"max_ns\": ";
+    json_number(os, r.max_ns);
+    os << ", \"items_per_rep\": " << r.items_per_rep << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+BenchFile parse_bench_json(const std::string& text) {
+  const JsonValue root = Parser(text).parse();
+  if (root.kind != JsonValue::Kind::Object) {
+    throw std::runtime_error("bench json: top level is not an object");
+  }
+  const JsonObject& o = *root.obj;
+
+  BenchFile file;
+  file.schema_version = static_cast<int>(get_num(o, "schema_version", -1));
+  if (file.schema_version != kBenchSchemaVersion) {
+    throw std::runtime_error("bench json: schema_version " +
+                             std::to_string(file.schema_version) + " != supported " +
+                             std::to_string(kBenchSchemaVersion));
+  }
+  file.host = get_str(o, "host");
+  if (const JsonValue* cfg = get(o, "config");
+      cfg != nullptr && cfg->kind == JsonValue::Kind::Object) {
+    file.config.warmup = static_cast<std::uint32_t>(get_num(*cfg->obj, "warmup"));
+    file.config.reps = static_cast<std::uint32_t>(get_num(*cfg->obj, "reps"));
+    file.config.filter = get_str(*cfg->obj, "filter");
+  }
+
+  const JsonValue* benches = get(o, "benchmarks");
+  if (benches == nullptr || benches->kind != JsonValue::Kind::Array) {
+    throw std::runtime_error("bench json: missing benchmarks array");
+  }
+  for (const JsonValue& bv : *benches->arr) {
+    if (bv.kind != JsonValue::Kind::Object) {
+      throw std::runtime_error("bench json: benchmark entry is not an object");
+    }
+    const JsonObject& b = *bv.obj;
+    BenchResult r;
+    r.name = get_str(b, "name");
+    if (r.name.empty()) throw std::runtime_error("bench json: benchmark without a name");
+    r.reps = static_cast<std::uint32_t>(get_num(b, "reps"));
+    r.median_ns = get_num(b, "median_ns");
+    r.p10_ns = get_num(b, "p10_ns");
+    r.p90_ns = get_num(b, "p90_ns");
+    r.min_ns = get_num(b, "min_ns");
+    r.max_ns = get_num(b, "max_ns");
+    r.items_per_rep = static_cast<std::uint64_t>(get_num(b, "items_per_rep"));
+    file.benchmarks.push_back(std::move(r));
+  }
+  return file;
+}
+
+BenchFile load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open bench file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    return parse_bench_json(ss.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+CompareOutcome compare_bench(const BenchFile& base, const BenchFile& next, double tolerance,
+                             std::ostream& report) {
+  std::map<std::string, const BenchResult*> base_by_name;
+  for (const BenchResult& r : base.benchmarks) base_by_name[r.name] = &r;
+
+  CompareOutcome out;
+  report << "comparing " << next.benchmarks.size() << " benchmarks against "
+         << base.benchmarks.size() << " baseline entries (tolerance +"
+         << tolerance * 100 << "% on median)\n";
+  for (const BenchResult& n : next.benchmarks) {
+    const auto it = base_by_name.find(n.name);
+    if (it == base_by_name.end()) {
+      ++out.only_in_next;
+      report << "  NEW        " << n.name << " (no baseline entry)\n";
+      continue;
+    }
+    const BenchResult& b = *it->second;
+    base_by_name.erase(it);
+    ++out.compared;
+    const double ratio = b.median_ns > 0 ? n.median_ns / b.median_ns
+                                         : (n.median_ns > 0 ? HUGE_VAL : 1.0);
+    if (ratio > 1.0 + tolerance) {
+      ++out.regressions;
+      report << "  REGRESSION " << n.name << ": median " << b.median_ns / 1e6 << " ms -> "
+             << n.median_ns / 1e6 << " ms (" << ratio << "x)\n";
+    } else if (ratio < 1.0 / (1.0 + tolerance)) {
+      ++out.improvements;
+      report << "  improved   " << n.name << ": " << ratio << "x\n";
+    } else {
+      report << "  ok         " << n.name << ": " << ratio << "x\n";
+    }
+  }
+  for (const auto& [name, r] : base_by_name) {
+    (void)r;
+    ++out.only_in_base;
+    report << "  MISSING    " << name << " (in baseline, not in new run)\n";
+  }
+  report << "compare: " << out.compared << " compared, " << out.regressions
+         << " regressions, " << out.improvements << " improvements, " << out.only_in_next
+         << " new, " << out.only_in_base << " missing\n";
+  return out;
+}
+
+std::string default_bench_filename() {
+  char host[256] = {};
+  std::string name = "local";
+  if (gethostname(host, sizeof host - 1) == 0 && host[0] != '\0') name = host;
+  for (char& c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) c = '-';
+  }
+  return "BENCH_" + name + ".json";
+}
+
+}  // namespace mosaiq::perf

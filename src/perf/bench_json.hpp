@@ -1,0 +1,78 @@
+// BENCH_*.json: the schema-versioned benchmark result artifact and its
+// regression comparator.
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "host": "<hostname>",
+//     "generated_by": "mosaiq-bench",
+//     "config": {"warmup": W, "reps": N, "filter": "<substring>"},
+//     "benchmarks": [
+//       {"name": "area/case", "reps": N,
+//        "median_ns": ..., "p10_ns": ..., "p90_ns": ...,
+//        "min_ns": ..., "max_ns": ..., "items_per_rep": I},
+//       ...
+//     ]
+//   }
+//
+// The comparator keys benchmarks by name and compares medians: a
+// benchmark regresses when new_median > old_median * (1 + tolerance).
+// Benchmarks present on only one side are reported but never fail the
+// gate (registries grow; a rename must not brick CI).  The parser is a
+// deliberately small recursive-descent JSON reader that accepts general
+// JSON but only materializes the fields above; unknown fields are
+// skipped, a wrong schema_version is an error.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "perf/benchmark.hpp"
+
+namespace mosaiq::perf {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+struct BenchFile {
+  int schema_version = kBenchSchemaVersion;
+  std::string host;
+  BenchConfig config;
+  std::vector<BenchResult> benchmarks;
+};
+
+/// Serializes results to the schema above.
+void write_bench_json(std::ostream& os, const BenchFile& file);
+
+/// Parses a BENCH_*.json document.  Throws std::runtime_error on
+/// malformed JSON, a missing benchmarks array, or a schema_version
+/// mismatch.
+BenchFile parse_bench_json(const std::string& text);
+
+/// Reads + parses a file (throws std::runtime_error, message includes
+/// the path).
+BenchFile load_bench_file(const std::string& path);
+
+struct CompareOutcome {
+  std::uint32_t compared = 0;
+  std::uint32_t regressions = 0;
+  std::uint32_t improvements = 0;
+  std::uint32_t only_in_base = 0;
+  std::uint32_t only_in_next = 0;
+};
+
+/// Compares two result sets and writes a per-benchmark report.
+/// tolerance is a relative slack on the median (0.15 = +15% allowed).
+CompareOutcome compare_bench(const BenchFile& base, const BenchFile& next, double tolerance,
+                             std::ostream& report);
+
+/// The mosaiq-bench --compare exit code for an outcome: 0 when no
+/// benchmark regressed, 1 otherwise.
+inline int compare_exit_code(const CompareOutcome& o) { return o.regressions == 0 ? 0 : 1; }
+
+/// "BENCH_<host>.json" with the hostname sanitized to [A-Za-z0-9_-]
+/// ("local" when the hostname is unavailable).
+std::string default_bench_filename();
+
+}  // namespace mosaiq::perf

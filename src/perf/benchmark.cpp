@@ -1,0 +1,72 @@
+#include "perf/benchmark.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace mosaiq::perf {
+
+BenchRegistry& BenchRegistry::shared() {
+  static BenchRegistry registry;
+  return registry;
+}
+
+void BenchRegistry::add(Benchmark b) {
+  if (b.name.empty() || !b.run) {
+    throw std::invalid_argument("benchmark needs a name and a run body");
+  }
+  for (const Benchmark& existing : benchmarks_) {
+    if (existing.name == b.name) {
+      throw std::invalid_argument("duplicate benchmark name: " + b.name);
+    }
+  }
+  benchmarks_.push_back(std::move(b));
+}
+
+double quantile_ns(std::vector<double> sorted_times, double q) {
+  if (sorted_times.empty()) return 0;
+  std::sort(sorted_times.begin(), sorted_times.end());
+  const double pos = q * static_cast<double>(sorted_times.size() - 1);
+  // Nearest rank: interpolation over <10 reps adds noise, not signal.
+  const auto idx = static_cast<std::size_t>(std::llround(pos));
+  return sorted_times[std::min(idx, sorted_times.size() - 1)];
+}
+
+std::vector<BenchResult> BenchRegistry::run(const BenchConfig& cfg, std::ostream& log) const {
+  using clock = std::chrono::steady_clock;
+  std::vector<BenchResult> results;
+  for (const Benchmark& b : benchmarks_) {
+    if (!cfg.filter.empty() && b.name.find(cfg.filter) == std::string::npos) continue;
+    if (b.setup) b.setup();
+    for (std::uint32_t w = 0; w < cfg.warmup; ++w) b.run();
+
+    BenchResult r;
+    r.name = b.name;
+    r.reps = std::max<std::uint32_t>(1, cfg.reps);
+    std::vector<double> times_ns;
+    times_ns.reserve(r.reps);
+    for (std::uint32_t i = 0; i < r.reps; ++i) {
+      const clock::time_point t0 = clock::now();
+      r.items_per_rep = b.run();
+      const clock::time_point t1 = clock::now();
+      times_ns.push_back(
+          static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                                  .count()));
+    }
+    r.median_ns = quantile_ns(times_ns, 0.5);
+    r.p10_ns = quantile_ns(times_ns, 0.1);
+    r.p90_ns = quantile_ns(times_ns, 0.9);
+    r.min_ns = *std::min_element(times_ns.begin(), times_ns.end());
+    r.max_ns = *std::max_element(times_ns.begin(), times_ns.end());
+    results.push_back(r);
+
+    log << "  " << r.name << ": median " << r.median_ns / 1e6 << " ms  (p10 "
+        << r.p10_ns / 1e6 << ", p90 " << r.p90_ns / 1e6 << ", " << r.reps << " reps)\n";
+  }
+  return results;
+}
+
+}  // namespace mosaiq::perf

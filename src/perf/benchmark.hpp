@@ -1,0 +1,66 @@
+// Benchmark registry + timing harness behind the mosaiq-bench runner.
+//
+// Each benchmark is a named repetition body (one timed call = one
+// repetition, returning the item count it processed for throughput
+// reporting) plus an optional untimed setup.  run_benchmarks() executes
+// warmup + N timed repetitions per benchmark on steady_clock and
+// summarizes the repetition times as median / p10 / p90 — the robust
+// statistics the BENCH_*.json regression gate compares (means are too
+// sensitive to a single preempted repetition).
+//
+// Registration is explicit (a REGISTER call per benchmark in the
+// runner, not static-initializer magic): the registry order is the
+// execution and report order, deterministic by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mosaiq::perf {
+
+struct Benchmark {
+  std::string name;                      ///< "area/case", filterable substring
+  std::function<void()> setup;           ///< run once, untimed; may be empty
+  std::function<std::uint64_t()> run;    ///< one timed repetition -> items processed
+};
+
+struct BenchResult {
+  std::string name;
+  std::uint32_t reps = 0;
+  double median_ns = 0;
+  double p10_ns = 0;
+  double p90_ns = 0;
+  double min_ns = 0;
+  double max_ns = 0;
+  std::uint64_t items_per_rep = 0;  ///< 0 = not reported
+};
+
+struct BenchConfig {
+  std::uint32_t warmup = 2;
+  std::uint32_t reps = 7;
+  std::string filter;  ///< substring; empty = all
+};
+
+class BenchRegistry {
+ public:
+  static BenchRegistry& shared();
+
+  void add(Benchmark b);
+  const std::vector<Benchmark>& benchmarks() const { return benchmarks_; }
+
+  /// Runs every registered benchmark whose name contains cfg.filter
+  /// (warmup + reps, setup once) and logs one progress line each.
+  std::vector<BenchResult> run(const BenchConfig& cfg, std::ostream& log) const;
+
+ private:
+  std::vector<Benchmark> benchmarks_;
+};
+
+/// Quantile of already-measured repetition times (q in [0,1], nearest
+/// rank on the sorted sample).  Exposed for tests.
+double quantile_ns(std::vector<double> sorted_times, double q);
+
+}  // namespace mosaiq::perf

@@ -1,0 +1,59 @@
+// Stable 64-bit config hashing for build memoization.
+//
+// BuildCache keys every memoized artifact by an FNV-1a digest of the
+// *complete* configuration that determines the build output: every
+// field of workload::DatasetSpec (including each cluster), and every
+// index-construction parameter.  Doubles are mixed as bit patterns, so
+// two configs hash equal iff they would produce bit-identical builds
+// (the generators are deterministic in their spec + seed).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+#include "workload/dataset.hpp"
+
+namespace mosaiq::perf {
+
+/// Incremental FNV-1a (64-bit).  Order-sensitive by design: field order
+/// is part of the key.
+class ConfigHasher {
+ public:
+  ConfigHasher& mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) octet(static_cast<std::uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+  ConfigHasher& mix(double v) { return mix(std::bit_cast<std::uint64_t>(v)); }
+  ConfigHasher& mix(std::string_view s) {
+    for (const char c : s) octet(static_cast<std::uint8_t>(c));
+    // Length terminator: "ab"+"c" must not collide with "a"+"bc".
+    return mix(static_cast<std::uint64_t>(s.size()));
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  void octet(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= 0x100000001b3ull;
+  }
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+inline std::uint64_t hash_of(const workload::DatasetSpec& spec) {
+  ConfigHasher h;
+  h.mix(spec.name)
+      .mix(static_cast<std::uint64_t>(spec.n_segments))
+      .mix(spec.cluster_fraction);
+  for (const workload::ClusterSpec& c : spec.clusters) {
+    h.mix(c.center.x).mix(c.center.y).mix(c.sigma).mix(c.weight);
+  }
+  h.mix(static_cast<std::uint64_t>(spec.clusters.size()))
+      .mix(spec.mean_segment_len)
+      .mix(spec.grid_fraction)
+      .mix(spec.seed);
+  return h.value();
+}
+
+}  // namespace mosaiq::perf

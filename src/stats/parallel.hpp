@@ -1,30 +1,36 @@
-// Minimal fork-join helper for embarrassingly parallel experiment
-// sweeps: every (scheme, bandwidth, ...) cell of a figure is an
-// independent simulation over shared *immutable* inputs (the Dataset),
-// so cells map cleanly onto a thread pool.  Results come back in input
-// order, keeping tables and golden outputs deterministic regardless of
+// Fork-join helper for embarrassingly parallel experiment sweeps:
+// every (scheme, bandwidth, ...) cell of a figure is an independent
+// simulation over shared *immutable* inputs (the Dataset), so cells map
+// cleanly onto a thread pool.  Results come back in input order,
+// keeping tables and golden outputs deterministic regardless of
 // scheduling.
+//
+// Execution runs on the process-wide perf::ThreadPool (see
+// perf/thread_pool.hpp): workers persist across calls instead of being
+// spawned and joined per sweep, and a nested parallel_map — e.g. fleet
+// code called from inside a sweep cell — runs inline on the calling
+// worker rather than multiplying threads.
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <thread>
 #include <vector>
+
+#include "perf/thread_pool.hpp"
 
 namespace mosaiq::stats {
 
-/// Number of workers to use: hardware concurrency, bounded by the job
-/// count (never zero).
+/// Upper bound on the number of threads that will touch a batch of
+/// `jobs` jobs: the persistent pool workers plus the submitting thread,
+/// bounded by the job count (never zero).
 inline unsigned worker_count(std::size_t jobs) {
-  const unsigned hw = std::thread::hardware_concurrency();
-  const unsigned cap = hw == 0 ? 1 : hw;
-  return static_cast<unsigned>(std::min<std::size_t>(cap, std::max<std::size_t>(1, jobs)));
+  const unsigned participants = perf::ThreadPool::shared().workers() + 1;
+  return static_cast<unsigned>(
+      std::min<std::size_t>(participants, std::max<std::size_t>(1, jobs)));
 }
 
-/// Runs fn(i) for i in [0, n) on a pool of threads and returns the
+/// Runs fn(i) for i in [0, n) on the shared pool and returns the
 /// results in index order.  fn must be safe to call concurrently for
 /// distinct i (shared inputs read-only).  Exceptions from workers are
 /// rethrown on the caller (first one wins).
@@ -32,31 +38,7 @@ template <typename R>
 std::vector<R> parallel_map(std::size_t n, const std::function<R(std::size_t)>& fn) {
   std::vector<R> results(n);
   if (n == 0) return results;
-  const unsigned workers = worker_count(n);
-  if (workers == 1) {
-    for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
-    return results;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(workers);
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      try {
-        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-          results[i] = fn(i);
-        }
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  perf::ThreadPool::shared().run(n, [&](std::size_t i) { results[i] = fn(i); });
   return results;
 }
 

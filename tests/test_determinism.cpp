@@ -17,9 +17,11 @@
 
 #include "core/caching_client.hpp"
 #include "core/session.hpp"
+#include "figure_common.hpp"
 #include "net/fault.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
+#include "perf/build_cache.hpp"
 #include "rtree/pmr_quadtree.hpp"
 #include "rtree/shipment.hpp"
 #include "workload/query_gen.hpp"
@@ -64,9 +66,13 @@ void expect_bit_identical(const stats::Outcome& a, const stats::Outcome& b) {
   EXPECT_EQ(a.queries_failed, b.queries_failed);
 }
 
+/// The shared BuildCache holds the dataset, exactly as the figure
+/// harnesses do since the perf layer landed — so every determinism pin
+/// below also exercises the memoized-build path.
 const workload::Dataset& data() {
-  static workload::Dataset d = workload::make_pa(20000);
-  return d;
+  static std::shared_ptr<const workload::Dataset> d =
+      perf::BuildCache::shared().dataset(workload::pa_spec(20000));
+  return *d;
 }
 
 core::SessionConfig config(core::Scheme s) {
@@ -212,6 +218,38 @@ TEST(Determinism, FaultyLinkBatchesBitIdentical) {
     EXPECT_EQ(a.trace_json, b.trace_json);
     EXPECT_EQ(a.metrics_csv, b.metrics_csv);
   }
+}
+
+/// A cache-held build must be indistinguishable from a direct
+/// make_pa(): the memoization layer may never change the artifact.
+TEST(Determinism, BuildCacheMatchesDirectBuild) {
+  const workload::Dataset direct = workload::make_pa(20000);
+  const workload::Dataset& cached = data();
+  ASSERT_EQ(direct.store.size(), cached.store.size());
+  EXPECT_EQ(direct.tree.node_count(), cached.tree.node_count());
+  EXPECT_EQ(direct.tree.height(), cached.tree.height());
+  for (std::uint32_t i = 0; i < direct.store.size(); i += 997) {
+    expect_bits(direct.store.segment(i).a.x, cached.store.segment(i).a.x, "segment.a.x");
+    expect_bits(direct.store.segment(i).b.y, cached.store.segment(i).b.y, "segment.b.y");
+  }
+}
+
+/// One figure harness end-to-end (ISSUE 5 acceptance): the full
+/// bench::run_sweep table — thread pool fan-out, cached dataset,
+/// every adequate-memory scheme variant across the bandwidth axis —
+/// printed twice must be byte-identical.
+TEST(Determinism, FigureSweepByteIdentical) {
+  workload::QueryGen gen(data(), /*seed=*/17);
+  const auto queries = gen.batch(rtree::QueryKind::Range, 10);
+  auto run = [&] {
+    std::ostringstream os;
+    bench::run_sweep(data(), queries, /*hybrids=*/true, 1.0 / 8.0, 1000.0, os);
+    return os.str();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
 }
 
 }  // namespace

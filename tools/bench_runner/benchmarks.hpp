@@ -1,0 +1,10 @@
+// Registration hook for the mosaiq-bench suite (see benchmarks.cpp).
+#pragma once
+
+namespace mosaiq::bench_runner {
+
+/// Registers every built-in benchmark with perf::BenchRegistry::shared().
+/// Call exactly once per process.
+void register_all_benchmarks();
+
+}  // namespace mosaiq::bench_runner

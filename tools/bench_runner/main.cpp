@@ -1,0 +1,105 @@
+// mosaiq-bench — the unified performance harness and regression gate.
+//
+//   mosaiq-bench                          run all benchmarks, write BENCH_<host>.json
+//   mosaiq-bench --filter query --reps 9  run a subset with more repetitions
+//   mosaiq-bench --quick --out q.json     CI smoke profile (reps 3, warmup 1)
+//   mosaiq-bench --list                   print registered benchmark names
+//   mosaiq-bench --compare old.json new.json --tolerance 0.15
+//                                         exit 1 when any median regressed >15%
+//
+// Exit codes: 0 success / no regression, 1 regression detected,
+// 2 usage or file error.  docs/BENCHMARKING.md documents the JSON
+// schema and how to add a benchmark.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "benchmarks.hpp"
+#include "cli/args.hpp"
+#include "perf/bench_json.hpp"
+#include "perf/benchmark.hpp"
+
+using namespace mosaiq;
+
+namespace {
+
+int run_compare(const cli::ArgParser& p) {
+  const auto& files = p.positionals();
+  if (files.size() != 2) {
+    std::cerr << "error: --compare needs exactly two files (baseline new)\n";
+    return 2;
+  }
+  const perf::BenchFile base = perf::load_bench_file(files[0]);
+  const perf::BenchFile next = perf::load_bench_file(files[1]);
+  const perf::CompareOutcome out =
+      perf::compare_bench(base, next, p.get_double("tolerance"), std::cout);
+  return perf::compare_exit_code(out);
+}
+
+int run_suite(const cli::ArgParser& p) {
+  perf::BenchConfig cfg;
+  cfg.filter = p.get("filter") == "-" ? "" : p.get("filter");
+  cfg.reps = static_cast<std::uint32_t>(p.get_int("reps"));
+  cfg.warmup = static_cast<std::uint32_t>(p.get_int("warmup"));
+  if (p.get_flag("quick")) {
+    cfg.reps = 3;
+    cfg.warmup = 1;
+  }
+
+  bench_runner::register_all_benchmarks();
+  const auto& registry = perf::BenchRegistry::shared();
+  if (p.get_flag("list")) {
+    for (const perf::Benchmark& b : registry.benchmarks()) std::cout << b.name << "\n";
+    return 0;
+  }
+
+  std::cout << "mosaiq-bench: " << registry.benchmarks().size() << " registered, "
+            << cfg.reps << " reps + " << cfg.warmup << " warmup"
+            << (cfg.filter.empty() ? "" : ", filter '" + cfg.filter + "'") << "\n";
+  perf::BenchFile file;
+  file.config = cfg;
+  file.host = perf::default_bench_filename();  // "BENCH_<host>.json"
+  file.host = file.host.substr(6, file.host.size() - 6 - 5);
+  file.benchmarks = registry.run(cfg, std::cout);
+  if (file.benchmarks.empty()) {
+    std::cerr << "error: no benchmark matched filter '" << cfg.filter << "'\n";
+    return 2;
+  }
+
+  const std::string out_path =
+      p.get("out") == "-" ? perf::default_bench_filename() : p.get("out");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << "\n";
+    return 2;
+  }
+  perf::write_bench_json(out, file);
+  std::cout << file.benchmarks.size() << " results written to " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::ArgParser p("mosaiq-bench",
+                   "Run the registered benchmark suite and emit/compare BENCH_*.json.");
+  p.option("filter", "only run benchmarks whose name contains this substring", "-")
+      .option("reps", "timed repetitions per benchmark", "7")
+      .option("warmup", "untimed warmup repetitions per benchmark", "2")
+      .option("out", "output path (default BENCH_<host>.json)", "-")
+      .option("tolerance", "relative median slack for --compare (0.15 = +15%)", "0.15")
+      .flag("quick", "CI smoke profile: 3 reps, 1 warmup")
+      .flag("list", "print registered benchmark names and exit")
+      .flag("compare",
+            "compare two BENCH_*.json files given as positionals: baseline new");
+  try {
+    p.parse(argc, argv);
+    return p.get_flag("compare") ? run_compare(p) : run_suite(p);
+  } catch (const cli::ArgParser::HelpRequested& h) {
+    std::cout << h.what();
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
