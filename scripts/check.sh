@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # The full local gate, in dependency order:
 #   1. configure + build (default preset, build/)
-#   2. ctest       — unit/integration suites + lint_src + header check
-#   3. mosaiq-lint — explicit run over src/ tests/ bench/ for a readable
-#                    report (ctest's lint_src covers src/ only)
+#   2. ctest       — unit/integration suites + the lint gates + header check
+#   3. mosaiq-lint — full matrix over src/ tools/ bench/ tests/ for a
+#                    readable report, plus a SARIF artifact in
+#                    build/lint.sarif and the --json/--sarif schema gate
 #   4. header self-containment (scripts/check_headers.sh)
 #   5. [--san]     ASan+UBSan preset: full rebuild + full ctest
 #   6. [--san]     TSan preset: rebuild + the threaded suites only
@@ -22,10 +23,19 @@ cmake --build --preset default -j"$(nproc)"
 echo "==> ctest (default preset)"
 ctest --preset default -j"$(nproc)"
 
-echo "==> mosaiq-lint over src/ tests/ bench/"
-# tests/lint_fixtures seeds violations on purpose; lint the suites only.
-./build/tools/lint/mosaiq-lint src \
-  $(find tests bench -maxdepth 1 \( -name '*.cpp' -o -name '*.hpp' \))
+echo "==> mosaiq-lint over src/ tools/ bench/ tests/ (full matrix)"
+# One invocation so cross-file annotations (header -> cpp) are honored;
+# tests/lint_fixtures seeds violations on purpose, so tests/ contributes
+# its top-level suites only.  A SARIF artifact lands in build/lint.sarif
+# for CI upload regardless of findings; the plain run is the gate.
+./build/tools/lint/mosaiq-lint --sarif src tools bench \
+  $(find tests -maxdepth 1 \( -name '*.cpp' -o -name '*.hpp' \)) \
+  > build/lint.sarif || true
+./build/tools/lint/mosaiq-lint src tools bench \
+  $(find tests -maxdepth 1 \( -name '*.cpp' -o -name '*.hpp' \))
+
+echo "==> mosaiq-lint --json/--sarif schema stability"
+scripts/check_lint_schema.sh ./build/tools/lint/mosaiq-lint tests/lint_fixtures
 
 echo "==> header self-containment"
 scripts/check_headers.sh

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Schema-stability gate for mosaiq-lint's machine-readable outputs.
+#
+# CI consumers parse `--json` (an array of {rule, file, line, message}
+# objects) and `--sarif` (SARIF 2.1.0); this script locks the key shape
+# of both against a seeded-violation fixture so a refactor cannot
+# silently rename a field.  Grep-based on purpose: no JSON tooling is
+# assumed on the host.
+#
+# Usage: check_lint_schema.sh [path/to/mosaiq-lint] [fixtures_dir]
+set -euo pipefail
+
+lint="${1:-./build/tools/lint/mosaiq-lint}"
+fixtures="${2:-tests/lint_fixtures}"
+fixture="$fixtures/sim/unit_flow_violation.cpp"
+
+[ -x "$lint" ] || { echo "check_lint_schema: $lint not built"; exit 1; }
+[ -f "$fixture" ] || { echo "check_lint_schema: missing fixture $fixture"; exit 1; }
+
+fail() {
+  echo "check_lint_schema: $1"
+  echo "--- output was:"
+  echo "$2"
+  exit 1
+}
+
+# --json: array of objects carrying exactly the four stable keys.
+json="$("$lint" --json "$fixture" || true)"
+case "$json" in
+  \[*\]*) ;;
+  *) fail "--json output is not a JSON array" "$json" ;;
+esac
+for key in '"rule":' '"file":' '"line":' '"message":'; do
+  echo "$json" | grep -qF "$key" || fail "--json output lost the $key key" "$json"
+done
+echo "$json" | grep -qF '"unit-flow"' || fail "--json output lost the rule id" "$json"
+
+# Empty input must still be a well-formed (empty) array.
+empty="$("$lint" --json "$fixtures/clean.cpp")"
+[ "$empty" = "[]" ] || fail "--json on a clean file must print []" "$empty"
+
+# --sarif: versioned SARIF 2.1.0 with tool metadata and results.
+sarif="$("$lint" --sarif "$fixture" || true)"
+for key in '"version":"2.1.0"' '"mosaiq-lint"' '"ruleId":' '"results":' \
+           '"physicalLocation":' '"startLine":'; do
+  echo "$sarif" | grep -qF "$key" || fail "--sarif output lost $key" "$sarif"
+done
+
+echo "check_lint_schema: --json and --sarif schemas stable"

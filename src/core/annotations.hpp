@@ -1,0 +1,33 @@
+// Concurrency-discipline annotations, checked by mosaiq-lint.
+//
+// All three macros expand to nothing: they exist so the semantic
+// analyzer (tools/lint, rule family `guarded-by`) can verify locking
+// discipline statically, the way clang's -Wthread-safety does with
+// attributes — but without requiring clang or attribute support on
+// every toolchain this repo builds on.
+//
+//   struct Cache {
+//     std::mutex mu_;
+//     Stats stats_ MOSAIQ_GUARDED_BY(mu_);   // only touch with mu_ held
+//   };
+//
+//   void drain() MOSAIQ_REQUIRES(mu_);       // caller already holds mu_
+//
+//   class ThreadPool MOSAIQ_THREAD_SAFE { ... };
+//
+// `MOSAIQ_GUARDED_BY(m)` on a data member asserts every read/write of
+// that member happens in a function that locks `m` (via lock_guard /
+// scoped_lock / unique_lock / m.lock()) or is itself annotated
+// `MOSAIQ_REQUIRES(m)`.  Constructors and destructors are exempt (no
+// concurrent access can exist yet / any longer).
+//
+// `MOSAIQ_THREAD_SAFE` on a class asserts its public interface is safe
+// to call concurrently; mosaiq-lint then requires every non-const,
+// non-atomic, non-mutex data member of the class to carry
+// MOSAIQ_GUARDED_BY, so new fields cannot silently join a thread-safe
+// class unguarded.
+#pragma once
+
+#define MOSAIQ_GUARDED_BY(m)
+#define MOSAIQ_REQUIRES(m)
+#define MOSAIQ_THREAD_SAFE

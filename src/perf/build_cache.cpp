@@ -14,8 +14,7 @@ BuildCache& BuildCache::shared() {
 template <typename T, typename Build>
 std::shared_ptr<const T> BuildCache::lookup(
     std::unordered_map<std::uint64_t, std::shared_ptr<const T>>& map, std::uint64_t key,
-    Build&& build) {
-  std::lock_guard<std::mutex> lk(mu_);
+    Build&& build) MOSAIQ_REQUIRES(mu_) {
   const auto it = map.find(key);
   if (it != map.end()) {
     ++stats_.hits;
@@ -28,6 +27,7 @@ std::shared_ptr<const T> BuildCache::lookup(
 }
 
 std::shared_ptr<const workload::Dataset> BuildCache::dataset(const workload::DatasetSpec& spec) {
+  std::lock_guard<std::mutex> lk(mu_);
   return lookup(datasets_, hash_of(spec), [&] { return workload::make_dataset(spec); });
 }
 
@@ -40,6 +40,7 @@ std::shared_ptr<const rtree::RStarTree> BuildCache::rstar_index(const workload::
                                 .mix(cfg.reinsert_fraction)
                                 .mix(cfg.min_fill)
                                 .value();
+  std::lock_guard<std::mutex> lk(mu_);
   return lookup(rstar_, key, [&] { return rtree::RStarTree::build(d->store, cfg); });
 }
 
@@ -52,6 +53,7 @@ std::shared_ptr<const rtree::PmrQuadtree> BuildCache::pmr_index(const workload::
                                 .mix(static_cast<std::uint64_t>(cfg.split_threshold))
                                 .mix(static_cast<std::uint64_t>(cfg.max_depth))
                                 .value();
+  std::lock_guard<std::mutex> lk(mu_);
   return lookup(pmr_, key, [&] { return rtree::PmrQuadtree::build(d->store, cfg); });
 }
 
@@ -59,6 +61,7 @@ std::shared_ptr<const rtree::BuddyTree> BuildCache::buddy_index(const workload::
   const std::shared_ptr<const workload::Dataset> d = dataset(spec);
   const std::uint64_t key =
       ConfigHasher().mix(std::string_view{"buddy"}).mix(hash_of(spec)).value();
+  std::lock_guard<std::mutex> lk(mu_);
   return lookup(buddy_, key, [&] { return rtree::BuddyTree::build(d->store); });
 }
 

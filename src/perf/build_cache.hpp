@@ -24,6 +24,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "core/annotations.hpp"
 #include "rtree/buddy_tree.hpp"
 #include "rtree/pmr_quadtree.hpp"
 #include "rtree/rstar_tree.hpp"
@@ -36,7 +37,7 @@ struct CacheStats {
   std::uint64_t misses = 0;
 };
 
-class BuildCache {
+class BuildCache MOSAIQ_THREAD_SAFE {
  public:
   /// The process-wide shared cache.  Entries live until clear() or
   /// process exit; callers holding shared_ptrs keep theirs alive across
@@ -66,16 +67,22 @@ class BuildCache {
   void clear();
 
  private:
+  /// Memoized find-or-build over one of the maps below; the public
+  /// entry points take mu_ and hand the map over under it.
   template <typename T, typename Build>
   std::shared_ptr<const T> lookup(std::unordered_map<std::uint64_t, std::shared_ptr<const T>>& map,
-                                  std::uint64_t key, Build&& build);
+                                  std::uint64_t key, Build&& build) MOSAIQ_REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  CacheStats stats_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const workload::Dataset>> datasets_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const rtree::RStarTree>> rstar_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const rtree::PmrQuadtree>> pmr_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const rtree::BuddyTree>> buddy_;
+  CacheStats stats_ MOSAIQ_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::shared_ptr<const workload::Dataset>> datasets_
+      MOSAIQ_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::shared_ptr<const rtree::RStarTree>> rstar_
+      MOSAIQ_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::shared_ptr<const rtree::PmrQuadtree>> pmr_
+      MOSAIQ_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::shared_ptr<const rtree::BuddyTree>> buddy_
+      MOSAIQ_GUARDED_BY(mu_);
 };
 
 }  // namespace mosaiq::perf

@@ -28,6 +28,8 @@
 
 #include <atomic>
 #include <condition_variable>
+
+#include "core/annotations.hpp"
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -39,7 +41,7 @@
 
 namespace mosaiq::perf {
 
-class ThreadPool {
+class ThreadPool MOSAIQ_THREAD_SAFE {
  public:
   /// `workers` = 0 means hardware_concurrency - 1 (the submitter is the
   /// extra participant), floored at 0 (single-core: everything inline).
@@ -84,23 +86,23 @@ class ThreadPool {
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
 
-    std::mutex mu;                ///< guards participants + error
-    std::condition_variable cv;   ///< signalled when participants drops
-    int participants = 0;
-    std::exception_ptr error;
+    std::mutex mu;
+    std::condition_variable cv;  ///< signalled when participants drops
+    int participants MOSAIQ_GUARDED_BY(mu) = 0;
+    std::exception_ptr error MOSAIQ_GUARDED_BY(mu);
   };
 
   void worker_loop();
   static void execute(Batch& b);
 
-  std::mutex mu_;               ///< guards current_/generation_/stop_
+  std::mutex mu_;
   std::condition_variable cv_;  ///< wakes workers for a new batch / stop
-  std::shared_ptr<Batch> current_;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  std::shared_ptr<Batch> current_ MOSAIQ_GUARDED_BY(mu_);
+  std::uint64_t generation_ MOSAIQ_GUARDED_BY(mu_) = 0;
+  bool stop_ MOSAIQ_GUARDED_BY(mu_) = false;
 
   std::mutex submit_mu_;  ///< serializes top-level run() calls
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_;  // mosaiq-lint: allow(guarded-by) — written only by the constructor, immutable once workers exist
   std::atomic<std::uint64_t> threads_started_{0};
   std::atomic<std::uint64_t> batches_run_{0};
 };

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <queue>
-#include <unordered_set>
 
 #include "geom/predicates.hpp"
 #include "rtree/costs.hpp"
@@ -211,14 +210,20 @@ std::vector<NNResult> PmrQuadtree::nearest_k(const geom::Point& p, std::uint32_t
     bool operator>(const Item& o) const { return d > o.d; }
   };
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  std::unordered_set<std::uint32_t> reported;  // duplicates across cells
+  // Duplicates across cells: `out` never exceeds k entries, so a linear
+  // scan of what was already reported beats a hashed set (and keeps the
+  // hot path free of unordered containers).
+  auto already_reported = [&](std::uint32_t rec) {
+    return std::any_of(out.begin(), out.end(),
+                       [&](const NNResult& r) { return r.record == rec; });
+  };
   heap.push({0.0, false, 0});
   while (!heap.empty()) {
     hooks.instr(costs::kHeapOp);
     const Item it = heap.top();
     heap.pop();
     if (it.is_data) {
-      if (reported.insert(it.idx).second) {
+      if (!already_reported(it.idx)) {
         out.push_back(NNResult{it.idx, store.id(it.idx), std::sqrt(it.d)});
         if (out.size() == k) return out;
       }

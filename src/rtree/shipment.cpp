@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
 #include "rtree/costs.hpp"
 
@@ -138,15 +137,19 @@ Shipment ship_hilbert_range(const PackedRTree& master, const SegmentStore& store
   }
 
   // Start from the mandatory window leaves, then add contiguous leaves on
-  // either side of the center while the budget holds.
-  std::unordered_set<std::uint32_t> shipped(window_leaves.begin(), window_leaves.end());
+  // either side of the center while the budget holds.  Leaf node indices
+  // are dense (0..n_leaves-1, leaves are packed first), so membership is
+  // a flat bitmap — no hashed set, and extraction below stays in index
+  // order without a sort.
+  std::vector<char> shipped(n_leaves, 0);
+  for (const std::uint32_t li : window_leaves) shipped[li] = 1;
   std::uint64_t items = leaf_item_count(master, window_leaves);
 
   auto try_add = [&](std::uint32_t li) {
-    if (shipped.contains(li)) return true;
+    if (shipped[li]) return true;
     const std::uint64_t n = master.node(li).count;
     if (shipment_bytes(items + n) > budget.bytes) return false;
-    shipped.insert(li);
+    shipped[li] = 1;
     items += n;
     return true;
   };
@@ -178,7 +181,7 @@ Shipment ship_hilbert_range(const PackedRTree& master, const SegmentStore& store
     std::vector<std::uint32_t> probe;
     master.leaves_intersecting(expanded(query_window, m), hooks, probe);
     return std::all_of(probe.begin(), probe.end(),
-                       [&](std::uint32_t li) { return shipped.contains(li); });
+                       [&](std::uint32_t li) { return shipped[li] != 0; });
   };
   double lo_m = 0.0;
   double hi_m = std::max(query_window.width(), query_window.height()) * 0.5 + 1e-9;
@@ -201,8 +204,9 @@ Shipment ship_hilbert_range(const PackedRTree& master, const SegmentStore& store
 
   Shipment s;
   s.safe_rect = expanded(query_window, lo_m);
-  std::vector<std::uint32_t> ordered(shipped.begin(), shipped.end());
-  std::sort(ordered.begin(), ordered.end());
+  std::vector<std::uint32_t> ordered;
+  for (std::uint32_t li = 0; li < n_leaves; ++li)
+    if (shipped[li]) ordered.push_back(li);
   gather(master, store, ordered, hooks, s);
   s.node_count = packed_node_count(s.segments.size());
   charge_subindex_build(s.segments.size(), hooks);

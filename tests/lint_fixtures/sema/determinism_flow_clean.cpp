@@ -1,0 +1,24 @@
+// Fixture: determinism-flow negatives — a config-driven seed, a
+// comparator over a stable value key, and a begin()/end() copy that is
+// sorted immediately after.
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+std::uint32_t config_seeded(std::uint32_t seed) {
+  std::mt19937 rng(seed);  // OK: seed flows from the experiment config
+  return rng();
+}
+
+void order_by_key(std::vector<const int*>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const int* a, const int* b) { return *a < *b; });  // OK: value key
+}
+
+std::vector<int> snapshot(const std::unordered_set<int>& seen) {
+  std::vector<int> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());  // OK: order restored before use
+  return out;
+}

@@ -1,0 +1,30 @@
+// Fixture: guarded-by negatives — every mutable member of the
+// thread-safe class names its lock, accesses hold the mutex or declare
+// MOSAIQ_REQUIRES, and const/atomic/mutex members are exempt.
+#include <atomic>
+#include <mutex>
+
+#define MOSAIQ_GUARDED_BY(m)
+#define MOSAIQ_REQUIRES(m)
+#define MOSAIQ_THREAD_SAFE
+
+class Counter MOSAIQ_THREAD_SAFE {
+ public:
+  void bump() {
+    std::lock_guard<std::mutex> lk(mu_);
+    bump_unlocked();
+    ticks_.fetch_add(1);  // atomic: no guard needed
+  }
+  long total() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+  }
+
+ private:
+  void bump_unlocked() MOSAIQ_REQUIRES(mu_) { ++hits_; }
+
+  mutable std::mutex mu_;
+  long hits_ MOSAIQ_GUARDED_BY(mu_) = 0;
+  std::atomic<long> ticks_{0};
+  const long limit_ = 100;
+};

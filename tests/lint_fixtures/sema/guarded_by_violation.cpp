@@ -1,0 +1,24 @@
+// Fixture: guarded-by — a MOSAIQ_THREAD_SAFE class with an unannotated
+// mutable member (completeness check) and a guarded member touched
+// without its mutex (per-access check).  guarded_by_clean.cpp is the
+// passing twin.
+#include <mutex>
+
+#define MOSAIQ_GUARDED_BY(m)
+#define MOSAIQ_THREAD_SAFE
+
+class Counter MOSAIQ_THREAD_SAFE {
+ public:
+  void bump() {
+    ++hits_;  // BAD: mu_ not held and bump declares no MOSAIQ_REQUIRES
+  }
+  void bump_locked() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++hits_;  // OK: mu_ held
+  }
+
+ private:
+  std::mutex mu_;
+  long hits_ MOSAIQ_GUARDED_BY(mu_) = 0;
+  long misses_ = 0;  // BAD: thread-safe class, member names no lock
+};

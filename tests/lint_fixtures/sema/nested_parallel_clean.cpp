@@ -1,0 +1,14 @@
+// Fixture: nested-parallel negatives — a parallel lambda may call
+// ordinary sequential helpers; only reaching another submission is a
+// finding.
+#include <cstddef>
+#include <vector>
+
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn fn);
+
+long step_cost(std::size_t i) { return static_cast<long>(i) * 3; }
+
+void sweep(std::size_t n) {
+  parallel_map<long>(n, [](std::size_t i) { return step_cost(i); });
+}

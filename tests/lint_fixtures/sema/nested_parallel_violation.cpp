@@ -1,0 +1,25 @@
+// Fixture: nested-parallel — a parallel_map lambda that submits more
+// parallel work directly, and one that reaches a submission through a
+// named function (caught via the cross-file call-graph closure).
+#include <cstddef>
+#include <vector>
+
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn fn);
+
+std::vector<long> inner_sweep(std::size_t n) {
+  return parallel_map<long>(n, [](std::size_t i) { return static_cast<long>(i); });
+}
+
+void outer_direct(std::size_t n) {
+  parallel_map<long>(n, [](std::size_t i) {  // BAD: submits inside a parallel lambda
+    parallel_map<long>(4, [](std::size_t j) { return static_cast<long>(j); });
+    return static_cast<long>(i);
+  });
+}
+
+void outer_transitive(std::size_t n) {
+  parallel_map<long>(n, [](std::size_t i) {  // BAD: inner_sweep submits
+    return inner_sweep(4)[0] + static_cast<long>(i);
+  });
+}

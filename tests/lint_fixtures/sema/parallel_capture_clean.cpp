@@ -1,0 +1,30 @@
+// Fixture: parallel-capture negatives — lambda-locals are private per
+// invocation, per-index writes into ref-captured locals are the
+// sanctioned output pattern, and a guarded member may be mutated when
+// the lambda body takes its lock.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#define MOSAIQ_GUARDED_BY(m)
+
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn fn);
+
+struct Tally {
+  std::mutex mu;
+  long sum MOSAIQ_GUARDED_BY(mu) = 0;
+};
+
+void sweep(Tally& tally, std::vector<long>& out) {
+  parallel_map<long>(out.size(), [&](std::size_t i) {
+    long local = static_cast<long>(i);  // lambda-local: private
+    ++local;
+    {
+      std::lock_guard<std::mutex> lk(tally.mu);
+      tally.sum += local;  // OK: mu held in the lambda body
+    }
+    out[i] = local;  // OK: per-index output slot
+    return local;
+  });
+}

@@ -1,0 +1,33 @@
+// Fixture: parallel-capture — mutations reaching shared state from a
+// parallel_map lambda: a function-static, a global, an unguarded
+// member, and a guarded member mutated without taking its lock in the
+// lambda body.  The per-index write into a ref-captured local is the
+// sanctioned output pattern and must NOT be flagged.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#define MOSAIQ_GUARDED_BY(m)
+
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn fn);
+
+long g_hits = 0;
+
+struct Tally {
+  std::mutex mu;
+  long locked_sum MOSAIQ_GUARDED_BY(mu) = 0;
+  long bare_sum = 0;
+};
+
+void sweep(Tally& tally, std::vector<long>& out) {
+  static long calls = 0;
+  parallel_map<long>(out.size(), [&](std::size_t i) {
+    ++calls;                        // BAD: function-static shared across workers
+    g_hits += 1;                    // BAD: unguarded global
+    tally.bare_sum += 1;            // BAD: unguarded member
+    tally.locked_sum += 1;          // BAD: guarded, but mu not locked here
+    out[i] = static_cast<long>(i);  // OK: per-index output slot
+    return out[i];
+  });
+}

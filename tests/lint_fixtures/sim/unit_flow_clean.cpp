@@ -1,0 +1,18 @@
+// Fixture: unit-flow negatives — dimensionally consistent arithmetic,
+// a named conversion helper (calls are opaque to the dimension parser),
+// plain-number offsets, and same-suffix adds.
+double ms_to_s(double v_ms);
+
+double energy(double power_w, double dt_s) {
+  double total_j = power_w * dt_s;  // OK: W * s = J
+  total_j += 0.5;                   // OK: dimensioned + plain number offset
+  return total_j;
+}
+
+double accumulate_s(double base_s, double extra_ms) {
+  return base_s + ms_to_s(extra_ms);  // OK: converted through a named helper
+}
+
+double bytes_total(double a_bytes, double b_bytes) {
+  return a_bytes + b_bytes;  // OK: same suffix on both sides
+}

@@ -1,0 +1,16 @@
+// Fixture: unit-flow — dimension mismatches flowing through assignments
+// and cross-suffix adds inside a quantity directory (sim/).  Distinct
+// from unit_suffix_violation.cpp, which seeds *bare* quantity names;
+// every name here is suffixed and the flow itself is wrong.
+double mix_assign(double elapsed_s, double count) {
+  double energy_j = elapsed_s * count;  // BAD: a seconds expression lands in joules
+  return energy_j;
+}
+
+double mix_add(double base_ms, double extra_s) {
+  return base_ms + extra_s;  // BAD: ms + s without a named conversion helper
+}
+
+void mix_compound(double& drain_j, double idle_w, double window) {
+  drain_j += idle_w * window;  // BAD: watts accumulated into joules
+}

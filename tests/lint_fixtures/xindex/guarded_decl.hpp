@@ -1,0 +1,25 @@
+// Fixture (cross-file): the declarations live here, the uses live in
+// guarded_use.cpp — the driver analyzes both as one program, so the
+// annotations and the unordered member type cross the file boundary
+// through the index.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#define MOSAIQ_GUARDED_BY(m)
+
+class Registry {
+ public:
+  void bump(const std::string& key);
+  std::uint64_t total() const;
+  void snapshot(std::vector<std::string>& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t total_ MOSAIQ_GUARDED_BY(mu_) = 0;
+  std::unordered_map<std::string, std::uint64_t> counts_;
+};

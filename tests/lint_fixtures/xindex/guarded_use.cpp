@@ -1,0 +1,25 @@
+// Fixture (cross-file): out-of-line member definitions whose guard and
+// container annotations are declared in guarded_decl.hpp.  total() and
+// snapshot() carry the seeded findings; bump() is the clean twin.
+#include <mutex>
+#include <string>
+#include <vector>
+
+class Registry;  // real decls come from guarded_decl.hpp via the driver
+
+void Registry::bump(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counts_[key] += 1;
+  total_ += 1;  // OK: mu_ held
+}
+
+std::uint64_t Registry::total() const {
+  return total_;  // BAD: mu_ not held; annotation lives in the header
+}
+
+void Registry::snapshot(std::vector<std::string>& out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& kv : counts_) {  // BAD: unordered member declared in the header
+    out.push_back(kv.first);
+  }
+}

@@ -81,6 +81,7 @@ TEST(ThreadPool, NestedParallelMapRunsInline) {
 
   std::atomic<std::uint64_t> nested_on_worker{0};
   const auto outer = stats::parallel_map<std::uint64_t>(
+      // mosaiq-lint: allow(nested-parallel) — nesting IS the behavior under test
       2 * pool.workers() + 4, [&](std::size_t i) {
         if (perf::ThreadPool::in_worker()) {
           nested_on_worker.fetch_add(1, std::memory_order_relaxed);

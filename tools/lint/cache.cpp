@@ -1,0 +1,126 @@
+#include "lint/cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace mosaiq::lint {
+
+const char* const kAnalyzerVersion = "mosaiq-lint-v2.0";
+
+namespace {
+
+constexpr char kMagic[] = "mosaiq-lint-cache v2";
+
+std::uint64_t fnv(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  h ^= 0xff;
+  h *= 0x100000001b3ull;
+  return h;
+}
+
+/// Tabs and newlines are the field/record separators: escape them.
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\t') out += "\\t";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char n = s[++i];
+    out += (n == 't') ? '\t' : (n == 'n') ? '\n' : n;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t cache_key(const SourceFile& f, const std::vector<std::string>& rules,
+                        std::uint64_t index_digest) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv(h, kAnalyzerVersion);
+  h = fnv(h, f.path);
+  h = fnv(h, f.text);
+  for (const std::string& r : rules) h = fnv(h, r);
+  h = fnv(h, std::to_string(index_digest));
+  return h;
+}
+
+void ResultCache::load(const std::string& path) {
+  entries_.clear();
+  std::ifstream in(path);
+  if (!in) return;
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return;
+  while (std::getline(in, line)) {
+    unsigned long long key = 0;
+    unsigned long long count = 0;
+    if (std::sscanf(line.c_str(), "%llx %llu", &key, &count) != 2) {
+      entries_.clear();
+      return;
+    }
+    std::vector<Finding> fs;
+    fs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!std::getline(in, line)) {
+        entries_.clear();
+        return;
+      }
+      Finding fi;
+      std::size_t a = line.find('\t');
+      std::size_t b = a == std::string::npos ? a : line.find('\t', a + 1);
+      std::size_t c = b == std::string::npos ? b : line.find('\t', b + 1);
+      if (c == std::string::npos) {
+        entries_.clear();
+        return;
+      }
+      fi.rule = unescape(line.substr(0, a));
+      fi.file = unescape(line.substr(a + 1, b - a - 1));  // mosaiq-lint: allow(unsigned-wrap) — b = find('\\t', a+1) > a past the npos checks
+      fi.line = static_cast<std::size_t>(std::strtoull(line.c_str() + b + 1, nullptr, 10));
+      fi.message = unescape(line.substr(c + 1));
+      fs.push_back(std::move(fi));
+    }
+    entries_[key] = std::move(fs);
+  }
+}
+
+bool ResultCache::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << kMagic << "\n";
+  char buf[32];
+  for (const auto& [key, fs] : entries_) {
+    std::snprintf(buf, sizeof buf, "%llx", static_cast<unsigned long long>(key));
+    out << buf << " " << fs.size() << "\n";
+    for (const Finding& fi : fs) {
+      out << escape(fi.rule) << "\t" << escape(fi.file) << "\t" << fi.line << "\t"
+          << escape(fi.message) << "\n";
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+const std::vector<Finding>* ResultCache::lookup(std::uint64_t key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void ResultCache::store(std::uint64_t key, std::vector<Finding> findings) {
+  entries_[key] = std::move(findings);
+}
+
+}  // namespace mosaiq::lint

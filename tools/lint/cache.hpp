@@ -1,0 +1,58 @@
+// Content-keyed result cache for the incremental lint driver.
+//
+// Mirrors perf::BuildCache's philosophy: the key is an FNV-1a hash of
+// everything that can change a file's findings — its bytes, its path
+// (path-scoped rules), the active rule filter, the analyzer version,
+// and the cross-file index digest (an annotation edited in one header
+// must invalidate every file that could observe it).  A hit replays
+// the stored findings without re-running any rule.
+//
+// The on-disk format is a plain text file, one entry per key:
+//
+//   mosaiq-lint-cache v2
+//   <hex key> <finding count>
+//   <rule>\t<file>\t<line>\t<message>
+//   ...
+//
+// Unknown versions and malformed entries are discarded wholesale — a
+// cold cache is always correct.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace mosaiq::lint {
+
+/// Bump whenever rule behaviour changes: stale caches self-invalidate.
+extern const char* const kAnalyzerVersion;
+
+/// Cache key for one file under one configuration.
+std::uint64_t cache_key(const SourceFile& f, const std::vector<std::string>& rules,
+                        std::uint64_t index_digest);
+
+class ResultCache {
+ public:
+  /// Loads entries from `path`; a missing or unreadable file leaves the
+  /// cache empty (never an error).
+  void load(const std::string& path);
+
+  /// Writes all entries to `path`.  Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Stored findings for `key`, or nullptr on a miss.
+  const std::vector<Finding>* lookup(std::uint64_t key) const;
+
+  void store(std::uint64_t key, std::vector<Finding> findings);
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::uint64_t, std::vector<Finding>> entries_;
+};
+
+}  // namespace mosaiq::lint

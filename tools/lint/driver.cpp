@@ -1,0 +1,48 @@
+#include "lint/driver.hpp"
+
+#include "lint/cache.hpp"
+#include "lint/index.hpp"
+#include "lint/sema.hpp"
+
+namespace mosaiq::lint {
+
+std::vector<Finding> run_driver(const std::vector<std::string>& files,
+                                const DriverOptions& opt, DriverStats* stats) {
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  for (const std::string& p : files) sources.push_back(analyze_file(p));
+
+  std::vector<Sema> tus;
+  tus.reserve(sources.size());
+  for (const SourceFile& f : sources) tus.push_back(build_sema(f));
+
+  const CrossIndex index = build_index(tus);
+
+  ResultCache cache;
+  if (!opt.cache_path.empty()) cache.load(opt.cache_path);
+
+  DriverStats local;
+  std::vector<Finding> out;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    ++local.files;
+    const std::uint64_t key =
+        opt.cache_path.empty() ? 0 : cache_key(sources[i], opt.rules, index.digest);
+    if (!opt.cache_path.empty()) {
+      if (const std::vector<Finding>* hit = cache.lookup(key)) {
+        ++local.cache_hits;
+        out.insert(out.end(), hit->begin(), hit->end());
+        continue;
+      }
+      ++local.cache_misses;
+    }
+    std::vector<Finding> file_findings;
+    run_rules(sources[i], tus[i], index, opt.rules, file_findings);
+    out.insert(out.end(), file_findings.begin(), file_findings.end());
+    if (!opt.cache_path.empty()) cache.store(key, std::move(file_findings));
+  }
+  if (!opt.cache_path.empty()) cache.save(opt.cache_path);
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace mosaiq::lint

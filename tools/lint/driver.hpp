@@ -1,0 +1,34 @@
+// Incremental analysis driver: analyzes a set of files as one program.
+//
+// The driver lexes every file, builds each TU's symbol model, merges
+// them into the cross-file index, and only then runs the rules — so a
+// .cpp is checked against annotations living in headers it includes.
+// With a cache path set, per-file results are replayed when nothing
+// that could affect them changed (see cache.hpp for the key).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace mosaiq::lint {
+
+struct DriverOptions {
+  std::vector<std::string> rules;  ///< empty = all registered rules
+  std::string cache_path;          ///< "" = no caching
+};
+
+struct DriverStats {
+  std::size_t files = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+};
+
+/// Runs the full analysis over `files` (paths as produced by
+/// collect_sources).  Throws std::runtime_error on unreadable input.
+std::vector<Finding> run_driver(const std::vector<std::string>& files,
+                                const DriverOptions& opt, DriverStats* stats = nullptr);
+
+}  // namespace mosaiq::lint

@@ -1,4 +1,7 @@
 #include "lint/token.hpp"
+// mosaiq-lint: allow-file(unsigned-wrap) — the lexer is wall-to-wall span
+// arithmetic over find() results; every subtraction is ordered by the
+// preceding npos / bounds check on the same cursor.
 
 #include <cctype>
 

@@ -9,6 +9,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "lint/index.hpp"
+#include "lint/sema.hpp"
+
 namespace mosaiq::lint {
 
 namespace {
@@ -24,7 +27,7 @@ void parse_include(const std::string& pp, SourceFile& f) {
   if (close == '\0') return;
   const std::size_t end = pp.find(close, i + 1);
   if (end == std::string::npos) return;
-  const std::string name = pp.substr(i + 1, end - i - 1);
+  const std::string name = pp.substr(i + 1, end - i - 1);  // mosaiq-lint: allow(unsigned-wrap) — end = find(close, i+1) > i here
   (open == '<' ? f.angle_includes : f.quoted_includes).push_back(name);
 }
 
@@ -46,7 +49,7 @@ std::vector<std::string> split_rule_list(std::string_view s) {
   while (start <= s.size()) {
     std::size_t comma = s.find(',', start);
     if (comma == std::string_view::npos) comma = s.size();
-    std::string_view part = s.substr(start, comma - start);
+    std::string_view part = s.substr(start, comma - start);  // mosaiq-lint: allow(unsigned-wrap) — comma = find(',', start) >= start
     while (!part.empty() && std::isspace(static_cast<unsigned char>(part.front())))
       part.remove_prefix(1);
     while (!part.empty() && std::isspace(static_cast<unsigned char>(part.back())))
@@ -79,7 +82,8 @@ Suppressions parse_suppressions(const SourceFile& f) {
     const std::size_t open = rest.find('(');
     const std::size_t close = rest.find(')', open);
     if (close == std::string_view::npos) continue;
-    const auto rules = split_rule_list(rest.substr(open + 1, close - open - 1));
+    const auto rules = split_rule_list(
+        rest.substr(open + 1, close - open - 1));  // mosaiq-lint: allow(unsigned-wrap) — close = find(')', open) > open
 
     for (const std::string& r : rules) {
       if (file_wide) {
@@ -155,19 +159,37 @@ SourceFile analyze_file(const std::string& path) {
   return analyze(path, ss.str());
 }
 
-void run_rules(const SourceFile& f, const std::vector<std::string>& rules,
-               std::vector<Finding>& out) {
+const std::vector<Rule>& registry() {
+  static const std::vector<Rule> rules = [] {
+    std::vector<Rule> r;
+    detail::add_token_rules(r);
+    detail::add_sema_rules(r);
+    return r;
+  }();
+  return rules;
+}
+
+void run_rules(const SourceFile& f, const Sema& sema, const CrossIndex& index,
+               const std::vector<std::string>& rules, std::vector<Finding>& out) {
   const Suppressions sup = parse_suppressions(f);
   std::vector<Finding> raw;
   for (const Rule& r : registry()) {
     if (!rules.empty() && std::find(rules.begin(), rules.end(), r.name) == rules.end()) continue;
-    r.check(f, raw);
+    if (r.check) r.check(f, raw);
+    if (r.sema_check) r.sema_check(sema, index, raw);
   }
   std::stable_sort(raw.begin(), raw.end(),
                    [](const Finding& a, const Finding& b) { return a.line < b.line; });
   for (Finding& fi : raw) {
     if (!sup.covers(fi)) out.push_back(std::move(fi));
   }
+}
+
+void run_rules(const SourceFile& f, const std::vector<std::string>& rules,
+               std::vector<Finding>& out) {
+  const Sema sema = build_sema(f);
+  const CrossIndex index = build_index({sema});
+  run_rules(f, sema, index, rules, out);
 }
 
 std::vector<std::string> collect_sources(const std::vector<std::string>& paths) {
@@ -213,6 +235,76 @@ std::string format_json(const std::vector<Finding>& findings) {
   }
   out += findings.empty() ? "]\n" : "\n]\n";
   return out;
+}
+
+std::string format_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+      "master/Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\n";
+  out += " \"runs\":[{\"tool\":{\"driver\":{\"name\":\"mosaiq-lint\",\"rules\":[";
+  const std::vector<Rule>& rules = registry();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"id\":\"";
+    json_escape(rules[i].name, out);
+    out += "\",\"shortDescription\":{\"text\":\"";
+    json_escape(rules[i].description, out);
+    out += "\"}}";
+  }
+  out += "\n  ]}},\n  \"results\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"ruleId\":\"";
+    json_escape(f.rule, out);
+    out += "\",\"level\":\"warning\",\"message\":{\"text\":\"";
+    json_escape(f.message, out);
+    out += "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"";
+    json_escape(f.file, out);
+    out += "\"},\"region\":{\"startLine\":" + std::to_string(f.line == 0 ? 1 : f.line) +
+           "}}}]}";
+  }
+  out += findings.empty() ? "]}]}\n" : "\n  ]}]}\n";
+  return out;
+}
+
+std::string baseline_key(const Finding& f) {
+  return f.file + ": [" + f.rule + "] " + f.message;
+}
+
+std::set<std::string> parse_baseline(const std::string& text) {
+  std::set<std::string> keys;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+std::string format_baseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;
+  for (const Finding& f : findings) keys.insert(baseline_key(f));
+  std::string out =
+      "# mosaiq-lint baseline: one `file: [rule] message` key per line.\n"
+      "# Findings matching a key are suppressed; the gate fails only on\n"
+      "# new findings.  Regenerate with --write-baseline.\n";
+  for (const std::string& k : keys) out += k + "\n";
+  return out;
+}
+
+std::size_t apply_baseline(const std::set<std::string>& baseline,
+                           std::vector<Finding>& findings) {
+  const std::size_t before = findings.size();
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) {
+                                  return baseline.count(baseline_key(f)) != 0;
+                                }),
+                 findings.end());
+  return before - findings.size();  // mosaiq-lint: allow(unsigned-wrap) — remove_if only shrinks
 }
 
 }  // namespace mosaiq::lint

@@ -14,12 +14,16 @@
 #pragma once
 
 #include <cstddef>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "lint/token.hpp"
 
 namespace mosaiq::lint {
+
+struct Sema;        // sema.hpp
+struct CrossIndex;  // index.hpp
 
 struct Finding {
   std::string rule;
@@ -54,16 +58,32 @@ SourceFile analyze_file(const std::string& path);
 struct Rule {
   std::string name;
   std::string description;
-  void (*check)(const SourceFile&, std::vector<Finding>&);
+  /// Token-level check (may be nullptr for sema-only rules).
+  void (*check)(const SourceFile&, std::vector<Finding>&) = nullptr;
+  /// Flow-aware check over the per-TU symbol model plus the cross-file
+  /// index (may be nullptr for token-only rules).
+  void (*sema_check)(const Sema&, const CrossIndex&, std::vector<Finding>&) = nullptr;
 };
 
 /// All registered rules, in reporting order.
 const std::vector<Rule>& registry();
 
+namespace detail {
+/// Internal rule providers; registry() assembles them (token rules
+/// first, then the flow-aware v2 families).
+void add_token_rules(std::vector<Rule>& out);
+void add_sema_rules(std::vector<Rule>& out);
+}  // namespace detail
+
 /// Runs `rules` (all registered rules when empty) over the file and
-/// appends unsuppressed findings.
+/// appends unsuppressed findings.  Builds a single-file Sema and index
+/// internally; the driver passes a repo-wide index via the overload.
 void run_rules(const SourceFile& f, const std::vector<std::string>& rules,
                std::vector<Finding>& out);
+
+/// Same, with a caller-provided symbol model and cross-file index.
+void run_rules(const SourceFile& f, const Sema& sema, const CrossIndex& index,
+               const std::vector<std::string>& rules, std::vector<Finding>& out);
 
 /// Recursively collects .hpp/.cpp files under each path (a path naming
 /// a regular file is taken as-is), sorted for deterministic reports.
@@ -74,5 +94,25 @@ std::string format_human(const std::vector<Finding>& findings);
 
 /// JSON array of {rule, file, line, message}.
 std::string format_json(const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 log (one run, rule metadata from the registry).
+std::string format_sarif(const std::vector<Finding>& findings);
+
+/// Baseline key of a finding: `file: [rule] message` — line numbers are
+/// deliberately excluded so unrelated edits that shift a known finding
+/// do not break the gate.
+std::string baseline_key(const Finding& f);
+
+/// Parses a baseline file (one key per line; blank lines and lines
+/// starting with '#' are comments).
+std::set<std::string> parse_baseline(const std::string& text);
+
+/// Serializes findings as a baseline file, sorted and de-duplicated.
+std::string format_baseline(const std::vector<Finding>& findings);
+
+/// Removes findings whose key appears in the baseline.  Returns the
+/// number suppressed.
+std::size_t apply_baseline(const std::set<std::string>& baseline,
+                           std::vector<Finding>& findings);
 
 }  // namespace mosaiq::lint

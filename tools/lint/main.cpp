@@ -1,22 +1,32 @@
 // mosaiq-lint CLI.
 //
-//   mosaiq-lint [--json] [--rules a,b] [--list-rules] <file|dir>...
+//   mosaiq-lint [--json|--sarif] [--rules a,b] [--list-rules]
+//               [--baseline FILE] [--write-baseline FILE]
+//               [--cache FILE] [--stats] <file|dir>...
+//
+// All named files are analyzed as one program: annotations and symbol
+// tables from headers inform findings in the .cpp files that use them.
 //
 // Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
 #include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/driver.hpp"
 #include "lint/lint.hpp"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mosaiq-lint [--json] [--rules a,b] [--list-rules] <file|dir>...\n"
+               "usage: mosaiq-lint [--json|--sarif] [--rules a,b] [--list-rules]\n"
+               "                   [--baseline FILE] [--write-baseline FILE]\n"
+               "                   [--cache FILE] [--stats] <file|dir>...\n"
                "exit codes: 0 clean, 1 findings, 2 usage/io error\n");
   return 2;
 }
@@ -37,19 +47,44 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 int main(int argc, char** argv) {
   using namespace mosaiq::lint;
-  bool json = false;
-  std::vector<std::string> rules;
+  enum class Format { Human, Json, Sarif } format = Format::Human;
+  DriverOptions opt;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool stats_wanted = false;
   std::vector<std::string> paths;
+
+  auto take_value = [&](int& i) -> const char* {
+    return (++i < argc) ? argv[i] : nullptr;
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
-      json = true;
+      format = Format::Json;
+    } else if (arg == "--sarif") {
+      format = Format::Sarif;
     } else if (arg == "--rules") {
-      if (++i >= argc) return usage();
-      rules = split_csv(argv[i]);
+      const char* v = take_value(i);
+      if (!v) return usage();
+      opt.rules = split_csv(v);
+    } else if (arg == "--baseline") {
+      const char* v = take_value(i);
+      if (!v) return usage();
+      baseline_path = v;
+    } else if (arg == "--write-baseline") {
+      const char* v = take_value(i);
+      if (!v) return usage();
+      write_baseline_path = v;
+    } else if (arg == "--cache") {
+      const char* v = take_value(i);
+      if (!v) return usage();
+      opt.cache_path = v;
+    } else if (arg == "--stats") {
+      stats_wanted = true;
     } else if (arg == "--list-rules") {
-      for (const Rule& r : registry()) std::printf("%-16s %s\n", r.name.c_str(), r.description.c_str());
+      for (const Rule& r : registry())
+        std::printf("%-18s %s\n", r.name.c_str(), r.description.c_str());
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       usage();
@@ -62,10 +97,10 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) return usage();
 
-  for (const std::string& r : rules) {
+  for (const std::string& r : opt.rules) {
     const auto& reg = registry();
-    const bool known = std::any_of(reg.begin(), reg.end(),
-                                   [&](const Rule& x) { return x.name == r; });
+    const bool known =
+        std::any_of(reg.begin(), reg.end(), [&](const Rule& x) { return x.name == r; });
     if (!known) {
       std::fprintf(stderr, "mosaiq-lint: unknown rule '%s' (try --list-rules)\n", r.c_str());
       return 2;
@@ -73,23 +108,52 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Finding> findings;
-  std::size_t n_files = 0;
+  DriverStats stats;
   try {
-    for (const std::string& file : collect_sources(paths)) {
-      run_rules(analyze_file(file), rules, findings);
-      ++n_files;
-    }
+    findings = run_driver(collect_sources(paths), opt, &stats);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mosaiq-lint: %s\n", e.what());
     return 2;
   }
 
-  if (json) {
-    std::cout << format_json(findings);
-  } else {
-    std::cout << format_human(findings);
-    std::fprintf(stderr, "mosaiq-lint: %zu finding(s) across %zu file(s)\n", findings.size(),
-                 n_files);
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "mosaiq-lint: cannot write %s\n", write_baseline_path.c_str());
+      return 2;
+    }
+    out << format_baseline(findings);
+    std::fprintf(stderr, "mosaiq-lint: wrote %zu baseline key(s) to %s\n", findings.size(),
+                 write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::size_t suppressed = 0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "mosaiq-lint: cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    suppressed = apply_baseline(parse_baseline(ss.str()), findings);
+  }
+
+  switch (format) {
+    case Format::Json: std::cout << format_json(findings); break;
+    case Format::Sarif: std::cout << format_sarif(findings); break;
+    case Format::Human:
+      std::cout << format_human(findings);
+      std::fprintf(stderr, "mosaiq-lint: %zu finding(s) across %zu file(s)\n",
+                   findings.size(), stats.files);
+      break;
+  }
+  if (stats_wanted) {
+    std::fprintf(stderr,
+                 "mosaiq-lint: stats: files=%zu cache_hits=%zu cache_misses=%zu "
+                 "baseline_suppressed=%zu\n",
+                 stats.files, stats.cache_hits, stats.cache_misses, suppressed);
   }
   return findings.empty() ? 0 : 1;
 }

@@ -519,22 +519,25 @@ void check_unit_suffix(const SourceFile& f, std::vector<Finding>& out) {
 
 }  // namespace
 
-const std::vector<Rule>& registry() {
-  static const std::vector<Rule> rules = {
-      {"include-hygiene",
-       "headers must directly include the std headers of the symbols they use",
-       check_include_hygiene},
-      {"unsigned-wrap",
-       "unsigned subtraction must be guarded against wrap before feeding arithmetic",
-       check_unsigned_wrap},
-      {"determinism",
-       "no wall-clock/unseeded randomness or unordered iteration on accounting paths",
-       check_determinism},
-      {"unit-suffix",
-       "physical-quantity identifiers in sim|net|stats|obs carry unit suffixes",
-       check_unit_suffix},
-  };
-  return rules;
+namespace detail {
+
+void add_token_rules(std::vector<Rule>& out) {
+  out.push_back({"include-hygiene",
+                 "headers must directly include the std headers of the symbols they use",
+                 check_include_hygiene, nullptr});
+  out.push_back({"unsigned-wrap",
+                 "unsigned subtraction must be guarded against wrap before feeding "
+                 "arithmetic",
+                 check_unsigned_wrap, nullptr});
+  out.push_back({"determinism",
+                 "no wall-clock/unseeded randomness or unordered iteration on accounting "
+                 "paths",
+                 check_determinism, nullptr});
+  out.push_back({"unit-suffix",
+                 "physical-quantity identifiers in sim|net|stats|obs carry unit suffixes",
+                 check_unit_suffix, nullptr});
 }
+
+}  // namespace detail
 
 }  // namespace mosaiq::lint

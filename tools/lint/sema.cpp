@@ -1,0 +1,725 @@
+#include "lint/sema.hpp"
+
+#include <algorithm>
+#include <set>
+#include <string_view>
+
+namespace mosaiq::lint {
+
+namespace {
+
+const Token& tok(const SourceFile& f, std::size_t k) { return f.tokens[f.code[k]]; }
+bool is_punct(const SourceFile& f, std::size_t k, std::string_view p) {
+  return k < f.code.size() && tok(f, k).kind == TokKind::Punct && tok(f, k).text == p;
+}
+bool is_ident(const SourceFile& f, std::size_t k) {
+  return k < f.code.size() && tok(f, k).kind == TokKind::Identifier;
+}
+bool is_ident(const SourceFile& f, std::size_t k, std::string_view name) {
+  return is_ident(f, k) && tok(f, k).text == name;
+}
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> s = {
+      "if",     "for",    "while",  "switch",   "catch",  "return", "sizeof",
+      "do",     "else",   "try",    "new",      "delete", "throw",  "case",
+      "default", "break", "continue", "goto",   "using",  "typedef"};
+  return s;
+}
+
+const std::set<std::string>& fn_qualifiers() {
+  static const std::set<std::string> s = {"const",    "noexcept", "override",
+                                          "final",    "mutable",  "volatile",
+                                          "constexpr"};
+  return s;
+}
+
+bool is_unordered_name(const std::string& t) { return t.rfind("unordered_", 0) == 0; }
+bool is_mutex_name(const std::string& t) {
+  return t == "mutex" || t == "shared_mutex" || t == "recursive_mutex" ||
+         t == "timed_mutex" || t == "condition_variable" || t == "condition_variable_any" ||
+         t == "once_flag";
+}
+
+/// Brace/paren/bracket matching over the code-token stream, one pass.
+/// close_of[k] = index of the matching closer (or npos); open_of[k] the
+/// reverse.  Unbalanced tokens keep npos — the parser then skips them.
+struct Matches {
+  std::vector<std::size_t> close_of;
+  std::vector<std::size_t> open_of;
+};
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+Matches match_all(const SourceFile& f) {
+  Matches m;
+  m.close_of.assign(f.code.size(), npos);
+  m.open_of.assign(f.code.size(), npos);
+  std::vector<std::size_t> stack;
+  for (std::size_t k = 0; k < f.code.size(); ++k) {
+    if (tok(f, k).kind != TokKind::Punct) continue;
+    const std::string& t = tok(f, k).text;
+    if (t == "(" || t == "{" || t == "[") {
+      stack.push_back(k);
+    } else if (t == ")" || t == "}" || t == "]") {
+      const char want = (t == ")") ? '(' : (t == "}") ? '{' : '[';
+      // Pop to the nearest matching opener kind: tolerates unbalanced
+      // input (the lexer never guarantees well-formedness).
+      while (!stack.empty() && tok(f, stack.back()).text[0] != want) stack.pop_back();
+      if (!stack.empty()) {
+        m.close_of[stack.back()] = k;
+        m.open_of[k] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+  return m;
+}
+
+/// True when the '[' at code index k opens a lambda capture list:
+/// it sits at expression position, not subscript/attribute position.
+bool lambda_intro_at(const SourceFile& f, std::size_t k) {
+  if (!is_punct(f, k, "[")) return false;
+  if (k == 0) return true;
+  const Token& p = tok(f, k - 1);
+  if (p.kind == TokKind::Identifier) {
+    // `ident[` is a subscript unless ident is a keyword like return.
+    return keywords().count(p.text) != 0 && p.text != "sizeof";
+  }
+  if (p.kind == TokKind::Number || p.kind == TokKind::String) return false;
+  if (p.kind != TokKind::Punct) return false;
+  // After a closing bracket/paren it is a subscript (`a()[0]`, `a[0][1]`).
+  static const std::set<std::string> no = {")", "]", "}"};
+  // `[[nodiscard]]`-style attributes: `[` directly after `[`.
+  if (p.text == "[") return false;
+  return no.count(p.text) == 0;
+}
+
+struct ParamSplit {
+  std::vector<SemaParam> params;
+};
+
+/// Parses a parenthesized parameter list given [open, close] code
+/// indices of the '(' and ')'.
+std::vector<SemaParam> parse_params(const SourceFile& f, std::size_t open,
+                                    std::size_t close) {
+  std::vector<SemaParam> out;
+  if (close == npos || close <= open + 1) return out;
+  std::size_t start = open + 1;
+  int depth = 0;
+  auto flush = [&](std::size_t end) {
+    if (end <= start) return;
+    SemaParam p;
+    // Name: last identifier, unless a '=' default splits it off.
+    std::size_t stop = end;
+    for (std::size_t j = start; j < end; ++j) {
+      if (is_punct(f, j, "=")) {
+        stop = j;
+        break;
+      }
+    }
+    std::size_t name_at = npos;
+    for (std::size_t j = start; j < stop; ++j) {
+      if (is_punct(f, j, "*")) p.is_pointer = true;
+      if (is_ident(f, j)) name_at = j;
+    }
+    if (name_at != npos) {
+      // `void` alone / pure types: a single token that is also the whole
+      // decl means an unnamed parameter.
+      // mosaiq-lint: allow(unsigned-wrap) — callers pass start < stop
+      if (name_at > start || stop - start > 1) p.name = tok(f, name_at).text;
+      if (stop - start == 1) p.name.clear();  // mosaiq-lint: allow(unsigned-wrap) — same start < stop invariant
+    }
+    for (std::size_t j = start; j < stop; ++j) {
+      if (j == name_at && !p.name.empty()) continue;
+      if (!p.type.empty()) p.type += ' ';
+      p.type += tok(f, j).text;
+    }
+    out.push_back(std::move(p));
+  };
+  for (std::size_t j = open + 1; j < close; ++j) {
+    const Token& t = tok(f, j);
+    if (t.kind == TokKind::Punct) {
+      if (t.text == "(" || t.text == "{" || t.text == "[" || t.text == "<") ++depth;
+      else if (t.text == ")" || t.text == "}" || t.text == "]" || t.text == ">") --depth;
+      else if (t.text == ">>") depth -= 2;
+      else if (t.text == "," && depth == 0) {
+        flush(j);
+        start = j + 1;
+      }
+    }
+  }
+  flush(close);
+  return out;
+}
+
+/// Terminal identifier of a chain like `batch -> mu` / `this -> mu_`.
+std::string chain_terminal(const SourceFile& f, std::size_t begin, std::size_t end) {
+  std::string last;
+  for (std::size_t j = begin; j < end; ++j) {
+    if (is_ident(f, j)) last = tok(f, j).text;
+  }
+  return last;
+}
+
+}  // namespace
+
+std::size_t match_forward(const SourceFile& f, std::size_t open) {
+  if (open >= f.code.size() || tok(f, open).kind != TokKind::Punct) return f.code.size();
+  const std::string& o = tok(f, open).text;
+  const char want = (o == "(") ? ')' : (o == "{") ? '}' : (o == "[") ? ']' : '\0';
+  if (want == '\0') return f.code.size();
+  int depth = 0;
+  for (std::size_t k = open; k < f.code.size(); ++k) {
+    if (tok(f, k).kind != TokKind::Punct) continue;
+    const std::string& t = tok(f, k).text;
+    if (t == o) ++depth;
+    else if (t.size() == 1 && t[0] == want && --depth == 0) return k;
+  }
+  return f.code.size();
+}
+
+int Sema::function_containing(std::size_t k) const {
+  int best = -1;
+  std::size_t best_span = npos;
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const SemaFunction& fn = functions[i];
+    if (k >= fn.body_begin && k < fn.body_end && fn.body_end - fn.body_begin < best_span) {
+      best = static_cast<int>(i);
+      best_span = fn.body_end - fn.body_begin;
+    }
+  }
+  return best;
+}
+
+int Sema::lambda_containing(std::size_t k) const {
+  int best = -1;
+  std::size_t best_span = npos;
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    const SemaLambda& l = lambdas[i];
+    if (k >= l.body_begin && k < l.body_end && l.body_end - l.body_begin < best_span) {
+      best = static_cast<int>(i);
+      best_span = l.body_end - l.body_begin;
+    }
+  }
+  return best;
+}
+
+std::vector<SemaLocal> Sema::locals_in(std::size_t begin, std::size_t end) const {
+  std::vector<SemaLocal> out;
+  const SourceFile& f = *file;
+  for (std::size_t k = begin; k < end && k < f.code.size(); ++k) {
+    // A declaration statement starts after ; { } or at a range-for /
+    // condition opener `(` whose keyword precedes it.
+    bool at_start = (k == begin);
+    if (!at_start) {
+      if (is_punct(f, k - 1, ";") || is_punct(f, k - 1, "{") || is_punct(f, k - 1, "}")) {
+        at_start = true;
+      } else if (is_punct(f, k - 1, "(") && k >= 2 && is_ident(f, k - 2)) {
+        const std::string& kw = tok(f, k - 2).text;
+        at_start = (kw == "for" || kw == "if" || kw == "while" || kw == "switch" ||
+                    kw == "catch");
+      }
+    }
+    if (!at_start || !is_ident(f, k)) continue;
+
+    SemaLocal loc;
+    std::size_t j = k;
+    // Leading specifiers.
+    for (; j < end; ++j) {
+      if (!is_ident(f, j)) break;
+      const std::string& t = tok(f, j).text;
+      if (t == "static") loc.is_static = true;
+      else if (t == "thread_local") loc.is_thread_local = true;
+      else if (t == "const" || t == "constexpr") loc.is_const = true;
+      else break;
+    }
+    if (j >= end || !is_ident(f, j)) continue;
+    if (keywords().count(tok(f, j).text)) continue;
+    // Type chain: ident (:: ident)* with balanced <...> groups.
+    std::string type;
+    bool more = true;
+    while (more && j < end) {
+      if (!is_ident(f, j)) break;
+      const std::string& t = tok(f, j).text;
+      if (is_unordered_name(t)) loc.is_unordered = true;
+      if (t == "atomic" || t == "atomic_flag") loc.is_atomic = true;
+      if (is_mutex_name(t)) loc.is_mutex = true;
+      if (t == "const") { loc.is_const = true; ++j; continue; }
+      if (!type.empty()) type += ' ';
+      type += t;
+      ++j;
+      if (is_punct(f, j, "<")) {
+        int depth = 0;
+        const std::size_t limit = std::min(end, j + 96);
+        std::size_t g = j;
+        for (; g < limit; ++g) {
+          if (is_punct(f, g, "<")) ++depth;
+          else if (is_punct(f, g, ">") && --depth == 0) break;
+          else if (is_punct(f, g, ">>") && (depth -= 2) <= 0) break;
+          else if (is_ident(f, g)) {
+            const std::string& gt = tok(f, g).text;
+            if (is_unordered_name(gt)) loc.is_unordered = true;
+            if (is_mutex_name(gt)) loc.is_mutex = true;
+          }
+        }
+        if (g >= limit) { more = false; break; }
+        type += "<>";
+        j = g + 1;
+      }
+      if (is_punct(f, j, "::")) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    if (!more) continue;
+    while (j < end && (is_punct(f, j, "&") || is_punct(f, j, "*") ||
+                       (is_ident(f, j, "const")))) {
+      if (is_punct(f, j, "*")) loc.is_pointer = true;
+      ++j;
+    }
+    if (j >= end || !is_ident(f, j) || type.empty()) continue;
+    // `a.b` / `a->b` member chains and casts are not declarations.
+    if (keywords().count(tok(f, j).text)) continue;
+    const bool decl_follows = is_punct(f, j + 1, "=") || is_punct(f, j + 1, ";") ||
+                              is_punct(f, j + 1, "{") || is_punct(f, j + 1, "(") ||
+                              is_punct(f, j + 1, ":") || is_punct(f, j + 1, ",") ||
+                              is_punct(f, j + 1, ")");
+    // Reject `x = y` shapes where the "type" was really a variable:
+    // require the type chain to differ from the declared name position.
+    if (!decl_follows || j == k) continue;
+    loc.name = tok(f, j).text;
+    loc.line = tok(f, j).line;
+    loc.type = type;
+    out.push_back(std::move(loc));
+    k = j;
+  }
+  return out;
+}
+
+Sema build_sema(const SourceFile& f) {
+  Sema s;
+  s.file = &f;
+  const Matches m = match_all(f);
+
+  // ---- pass 1: lambda intros ------------------------------------------
+  // Recorded up front so the scope walk can tell a lambda body '{' from
+  // every other brace.
+  std::vector<std::size_t> lambda_body_open;  // '{' code index per lambda
+  for (std::size_t k = 0; k < f.code.size(); ++k) {
+    if (!lambda_intro_at(f, k)) continue;
+    const std::size_t close_br = m.close_of[k];
+    if (close_br == npos) continue;
+    SemaLambda l;
+    l.intro = k;
+    l.line = tok(f, k).line;
+    // Capture list.
+    for (std::size_t j = k + 1; j < close_br; ++j) {
+      if (is_punct(f, j, "&")) {
+        if (j + 1 < close_br && is_ident(f, j + 1)) {
+          l.ref_captures.push_back(tok(f, j + 1).text);
+          ++j;
+        } else {
+          l.default_ref_capture = true;
+        }
+      } else if (is_punct(f, j, "=")) {
+        if (j == k + 1 && (j + 1 == close_br || is_punct(f, j + 1, ","))) {
+          l.default_val_capture = true;
+        }
+      } else if (is_ident(f, j)) {
+        l.val_captures.push_back(tok(f, j).text);
+        // Skip an init-capture's initializer.
+        while (j + 1 < close_br && !is_punct(f, j + 1, ",")) ++j;
+      }
+    }
+    // Optional parameter list, then the body '{' (skipping mutable /
+    // noexcept / a trailing return type).
+    std::size_t j = close_br + 1;
+    if (is_punct(f, j, "(")) {
+      const std::size_t close_par = m.close_of[j];
+      if (close_par == npos) continue;
+      l.params = parse_params(f, j, close_par);
+      j = close_par + 1;
+    }
+    std::size_t guard = 0;
+    while (j < f.code.size() && !is_punct(f, j, "{") && guard++ < 24) {
+      if (is_punct(f, j, ";") || is_punct(f, j, ",") || is_punct(f, j, ")")) break;
+      ++j;
+    }
+    if (j >= f.code.size() || !is_punct(f, j, "{") || m.close_of[j] == npos) continue;
+    l.body_begin = j + 1;
+    l.body_end = m.close_of[j];
+    lambda_body_open.push_back(j);
+    s.lambdas.push_back(std::move(l));
+  }
+
+  // ---- pass 2: scope walk ---------------------------------------------
+  struct Scope {
+    enum Kind { Namespace, Class, Enum, Function, Lambda, Block } kind;
+    std::size_t open = 0;       ///< code index of '{'
+    int class_index = -1;       ///< into s.classes when kind == Class
+    std::size_t stmt_start = 0; ///< statement tracking inside Class/Namespace
+  };
+  std::vector<Scope> scopes;
+  scopes.push_back({Scope::Namespace, 0, -1, 0});  // file scope
+
+  auto innermost_class = [&]() -> int {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Class) return it->class_index;
+      if (it->kind == Scope::Function || it->kind == Scope::Lambda) break;
+    }
+    return -1;
+  };
+
+  // Processes one class-scope statement span [b, e) as a possible field.
+  auto process_field = [&](int class_index, std::size_t b, std::size_t e) {
+    if (class_index < 0 || e <= b) return;
+    static const std::set<std::string> skip_heads = {
+        "using", "typedef", "friend",  "static_assert", "template", "public",
+        "private", "protected", "enum", "class", "struct", "union", "operator",
+        "explicit", "virtual", "~"};
+    if (is_ident(f, b) && skip_heads.count(tok(f, b).text)) return;
+    if (is_punct(f, b, "~")) return;
+    SemaField fd;
+    fd.cls = s.classes[class_index].name;
+    // Trailing MOSAIQ_GUARDED_BY(...) annotation.
+    std::size_t end = e;
+    for (std::size_t j = b; j + 1 < e; ++j) {
+      if (is_ident(f, j, "MOSAIQ_GUARDED_BY") && is_punct(f, j + 1, "(")) {
+        const std::size_t c = m.close_of[j + 1];
+        if (c != npos && c < e) fd.guarded_by = chain_terminal(f, j + 2, c);
+        end = j;
+        break;
+      }
+    }
+    // Strip a top-level initializer.
+    int depth = 0;
+    for (std::size_t j = b; j < end; ++j) {
+      const Token& t = tok(f, j);
+      if (t.kind != TokKind::Punct) continue;
+      if (t.text == "(" || t.text == "{" || t.text == "[" || t.text == "<") ++depth;
+      else if (t.text == ")" || t.text == "}" || t.text == "]" || t.text == ">") --depth;
+      else if (t.text == ">>") depth -= 2;
+      else if (t.text == "=" && depth == 0) {
+        end = j;
+        break;
+      }
+    }
+    // A trailing brace-init `name{...}`.
+    if (end > b && is_punct(f, end - 1, "}")) {
+      const std::size_t o = m.open_of[end - 1];
+      if (o != npos && o > b) end = o;
+    }
+    if (end <= b) return;
+    // Declarator name: last top-level identifier; a following '(' makes
+    // this a method declaration, not a field.  So does any top-level
+    // ident immediately followed by '(' (`stats() const;` would
+    // otherwise yield a "field" named const), and the `operator`
+    // keyword anywhere (`operator=(...) = delete` strips at the '=',
+    // leaving `operator` as the last identifier).
+    depth = 0;
+    std::size_t name_at = npos;
+    for (std::size_t j = b; j < end; ++j) {
+      const Token& t = tok(f, j);
+      if (t.kind == TokKind::Punct) {
+        if (t.text == "(" || t.text == "<" || t.text == "[") ++depth;
+        else if (t.text == ")" || t.text == ">" || t.text == "]") --depth;
+        else if (t.text == ">>") depth -= 2;
+      } else if (t.kind == TokKind::Identifier && depth == 0) {
+        if (t.text == "operator") return;                // operator fn
+        if (is_punct(f, j + 1, "(")) return;             // method decl
+        name_at = j;
+      }
+    }
+    if (name_at == npos || name_at == b) return;
+    static const std::set<std::string> not_a_name = {"const",   "noexcept", "override",
+                                                     "final",   "delete",   "default",
+                                                     "mutable", "volatile"};
+    if (not_a_name.count(tok(f, name_at).text)) return;
+    if (name_at + 1 < e && is_punct(f, name_at + 1, "(")) return;  // method
+    fd.name = tok(f, name_at).text;
+    fd.line = tok(f, name_at).line;
+    for (std::size_t j = b; j < name_at; ++j) {
+      const std::string& t = tok(f, j).text;
+      if (tok(f, j).kind == TokKind::Identifier) {
+        if (t == "static") { fd.is_static = true; continue; }
+        if (t == "mutable") { fd.is_mutable = true; continue; }
+        if (t == "const" || t == "constexpr") fd.is_const = true;
+        if (t == "atomic" || t == "atomic_flag") fd.is_atomic = true;
+        if (is_mutex_name(t)) fd.is_mutex = true;
+        if (is_unordered_name(t)) fd.is_unordered = true;
+      }
+      if (!fd.type.empty()) fd.type += ' ';
+      fd.type += t;
+    }
+    if (fd.type.empty()) return;
+    s.fields.push_back(std::move(fd));
+  };
+
+  std::set<std::size_t> lambda_opens(lambda_body_open.begin(), lambda_body_open.end());
+
+  for (std::size_t k = 0; k < f.code.size(); ++k) {
+    const Token& t = tok(f, k);
+    Scope& cur = scopes.back();
+
+    // Statement boundaries for field / global tracking.
+    if ((cur.kind == Scope::Class || cur.kind == Scope::Namespace) &&
+        t.kind == TokKind::Punct && t.text == ";") {
+      if (cur.kind == Scope::Class) process_field(cur.class_index, cur.stmt_start, k);
+      cur.stmt_start = k + 1;
+      continue;
+    }
+    if (cur.kind == Scope::Class && t.kind == TokKind::Identifier &&
+        (t.text == "public" || t.text == "private" || t.text == "protected") &&
+        is_punct(f, k + 1, ":")) {
+      cur.stmt_start = k + 2;
+      ++k;
+      continue;
+    }
+
+    if (t.kind != TokKind::Punct) continue;
+    if (t.text == "}") {
+      if (scopes.size() > 1 && m.open_of[k] == scopes.back().open) {
+        scopes.pop_back();
+        Scope& parent = scopes.back();
+        if (parent.kind == Scope::Class || parent.kind == Scope::Namespace) {
+          parent.stmt_start = k + 1;
+        }
+      }
+      continue;
+    }
+    if (t.text != "{" || m.close_of[k] == npos) continue;
+
+    // ---- classify this '{' ------------------------------------------
+    // Lambda body?
+    if (lambda_opens.count(k)) {
+      scopes.push_back({Scope::Lambda, k, -1, 0});
+      continue;
+    }
+
+    // Initializer `= {...}`.
+    if (k > 0 && is_punct(f, k - 1, "=")) {
+      scopes.push_back({Scope::Block, k, -1, 0});
+      continue;
+    }
+
+    // Statement stretch: walk back to the nearest ; { } — skipping small
+    // identifier-adjacent brace groups (member brace-inits `failed{false}`).
+    std::size_t sstart = k;
+    {
+      std::size_t j = k;
+      std::size_t guard = 0;
+      while (j > 0 && guard++ < 512) {
+        const Token& pt = tok(f, j - 1);
+        if (pt.kind == TokKind::Punct &&
+            (pt.text == ";" || pt.text == "{")) {
+          break;
+        }
+        if (pt.kind == TokKind::Punct && pt.text == "}") {
+          const std::size_t o = m.open_of[j - 1];
+          const bool small = o != npos && (j - 1) - o <= 24;
+          const bool after_ident =
+              o != npos && o > 0 && is_ident(f, o - 1) &&
+              !fn_qualifiers().count(tok(f, o - 1).text);
+          if (small && after_ident) {
+            j = o;  // brace-init: hop the group, keep walking
+            continue;
+          }
+          break;
+        }
+        --j;
+      }
+      sstart = j;
+    }
+
+    const bool head_ident = is_ident(f, sstart);
+    const std::string head = head_ident ? tok(f, sstart).text : std::string();
+
+    if (head == "namespace") {
+      scopes.push_back({Scope::Namespace, k, -1, k + 1});
+      continue;
+    }
+    if (head == "enum") {
+      scopes.push_back({Scope::Enum, k, -1, 0});
+      continue;
+    }
+    std::size_t class_kw = npos;
+    for (std::size_t j = sstart; j < k; ++j) {
+      if (is_ident(f, j) &&
+          (tok(f, j).text == "class" || tok(f, j).text == "struct" ||
+           tok(f, j).text == "union")) {
+        class_kw = j;
+        break;
+      }
+      if (!is_ident(f, j) && !is_punct(f, j, "<") && !is_punct(f, j, ">") &&
+          !is_punct(f, j, "::") && !is_punct(f, j, ",")) {
+        break;  // template headers only before class/struct
+      }
+    }
+    if (class_kw != npos && head != "return") {
+      SemaClass c;
+      for (std::size_t j = class_kw + 1; j < k; ++j) {
+        if (is_ident(f, j, "MOSAIQ_THREAD_SAFE")) c.thread_safe = true;
+        else if (is_ident(f, j) && c.name.empty() && tok(f, j).text != "alignas" &&
+                 tok(f, j).text != "final") {
+          c.name = tok(f, j).text;
+          c.line = tok(f, j).line;
+        } else if (is_punct(f, j, ":")) {
+          break;  // base list: stop collecting the name
+        }
+      }
+      if (c.name.empty()) c.name = "<anonymous>";
+      s.classes.push_back(c);
+      scopes.push_back({Scope::Class, k, static_cast<int>(s.classes.size() - 1), k + 1});
+      continue;
+    }
+
+    // Function body?  Needs a top-level (...) group in the stretch whose
+    // '(' is preceded by the function name, and a declaration context
+    // (namespace or class scope).
+    const bool decl_context =
+        cur.kind == Scope::Namespace || cur.kind == Scope::Class;
+    std::size_t fn_paren = npos;
+    if (decl_context) {
+      int depth = 0;
+      for (std::size_t j = sstart; j < k; ++j) {
+        const Token& pt = tok(f, j);
+        if (pt.kind != TokKind::Punct) continue;
+        if (pt.text == "(") {
+          if (depth == 0 && j > sstart && is_ident(f, j - 1)) {
+            const std::string& callee = tok(f, j - 1).text;
+            if (!keywords().count(callee)) {
+              fn_paren = j;
+              break;
+            }
+          }
+          ++depth;
+        } else if (pt.text == ")") {
+          --depth;
+        }
+      }
+    }
+    if (fn_paren != npos && m.close_of[fn_paren] != npos) {
+      SemaFunction fn;
+      fn.name = tok(f, fn_paren - 1).text;
+      fn.line = tok(f, fn_paren - 1).line;
+      // Qualifier chain `A::B::name` and/or the enclosing class.
+      std::size_t q = fn_paren - 1;
+      while (q >= 2 && is_punct(f, q - 1, "::") && is_ident(f, q - 2)) {
+        fn.cls = tok(f, q - 2).text;  // innermost qualifier wins
+        q -= 2;
+        break;
+      }
+      const int encl = innermost_class();
+      if (fn.cls.empty() && encl >= 0) fn.cls = s.classes[encl].name;
+      const bool dtor = fn_paren >= 2 && is_punct(f, fn_paren - 2, "~");
+      fn.is_ctor_dtor = dtor || (!fn.cls.empty() && fn.name == fn.cls);
+      fn.params = parse_params(f, fn_paren, m.close_of[fn_paren]);
+      for (std::size_t j = m.close_of[fn_paren]; j + 1 < k; ++j) {
+        if (is_ident(f, j, "MOSAIQ_REQUIRES") && is_punct(f, j + 1, "(")) {
+          const std::size_t c = m.close_of[j + 1];
+          if (c != npos && c < k) {
+            // Comma-separated mutex chains.
+            std::size_t a = j + 2;
+            for (std::size_t g = j + 2; g <= c; ++g) {
+              if (g == c || is_punct(f, g, ",")) {
+                const std::string term = chain_terminal(f, a, g);
+                if (!term.empty()) fn.requires_locks.push_back(term);
+                a = g + 1;
+              }
+            }
+          }
+        }
+      }
+      fn.body_begin = k + 1;
+      fn.body_end = m.close_of[k];
+      s.functions.push_back(std::move(fn));
+      scopes.push_back({Scope::Function, k, -1, 0});
+      continue;
+    }
+
+    scopes.push_back({Scope::Block, k, -1, 0});
+  }
+
+  // ---- pass 3: namespace-scope variables ------------------------------
+  // Re-walk cheaply: globals are locals_in() hits outside every function
+  // and class body.
+  {
+    std::vector<SemaLocal> candidates = s.locals_in(0, f.code.size());
+    for (SemaLocal& g : candidates) {
+      bool inside = false;
+      // locate the candidate's code index by line+name (cheap rescan).
+      for (std::size_t k = 0; k < f.code.size() && !inside; ++k) {
+        if (tok(f, k).line != g.line || !is_ident(f, k) || tok(f, k).text != g.name)
+          continue;
+        if (s.function_containing(k) >= 0 || s.lambda_containing(k) >= 0) inside = true;
+        for (const SemaField& fd : s.fields) {
+          if (fd.line == g.line && fd.name == g.name) inside = true;
+        }
+        break;
+      }
+      if (!inside) s.globals.push_back(std::move(g));
+    }
+  }
+
+  // ---- pass 4: locks held per function --------------------------------
+  static const std::set<std::string> lockers = {"lock_guard", "scoped_lock",
+                                                "unique_lock", "shared_lock"};
+  for (SemaFunction& fn : s.functions) {
+    for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
+      if (!is_ident(f, k)) continue;
+      const std::string& name = tok(f, k).text;
+      if (lockers.count(name)) {
+        std::size_t j = k + 1;
+        if (is_punct(f, j, "<")) {
+          int depth = 0;
+          const std::size_t limit = std::min(fn.body_end, j + 64);
+          for (; j < limit; ++j) {
+            if (is_punct(f, j, "<")) ++depth;
+            else if (is_punct(f, j, ">") && --depth == 0) break;
+            else if (is_punct(f, j, ">>") && (depth -= 2) <= 0) break;
+          }
+          ++j;
+        }
+        if (!is_ident(f, j)) continue;  // needs a guard variable name
+        ++j;
+        if (!is_punct(f, j, "(")) continue;
+        const std::size_t c = m.close_of[j];
+        if (c == npos || c > fn.body_end) continue;
+        std::size_t a = j + 1;
+        int depth = 0;
+        for (std::size_t g = j + 1; g <= c; ++g) {
+          const Token& gt = tok(f, g);
+          if (gt.kind == TokKind::Punct) {
+            if (gt.text == "(") ++depth;
+            else if (gt.text == ")" && g < c) --depth;
+          }
+          if (g == c || (depth == 0 && is_punct(f, g, ","))) {
+            const std::string term = chain_terminal(f, a, g);
+            if (!term.empty()) fn.locks_held.push_back(term);
+            a = g + 1;
+          }
+        }
+      } else if (name == "lock" && k >= 2 &&
+                 (is_punct(f, k - 1, ".") || is_punct(f, k - 1, "->")) &&
+                 is_punct(f, k + 1, "(")) {
+        if (is_ident(f, k - 2)) fn.locks_held.push_back(tok(f, k - 2).text);
+      }
+    }
+    // REQUIRES-held locks count as held.
+    for (const std::string& r : fn.requires_locks) fn.locks_held.push_back(r);
+    std::sort(fn.locks_held.begin(), fn.locks_held.end());
+    fn.locks_held.erase(std::unique(fn.locks_held.begin(), fn.locks_held.end()),
+                        fn.locks_held.end());
+  }
+
+  // ---- lambdas: enclosing function ------------------------------------
+  for (SemaLambda& l : s.lambdas) {
+    l.enclosing_function = s.function_containing(l.intro);
+  }
+
+  return s;
+}
+
+}  // namespace mosaiq::lint

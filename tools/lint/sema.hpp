@@ -1,0 +1,121 @@
+// Lightweight declaration parser over the mosaiq-lint lexer.
+//
+// Not a C++ front end: a single forward pass over the code-token stream
+// with an explicit scope stack, recovering just enough structure for
+// the flow-aware rule families —
+//   * classes (with MOSAIQ_THREAD_SAFE marks) and their data members
+//     (types, mutable/static/const/atomic/mutex flags, and
+//     MOSAIQ_GUARDED_BY annotations),
+//   * function definitions (qualified name, parameter list, body token
+//     range, MOSAIQ_REQUIRES annotations, and the set of mutexes the
+//     body locks),
+//   * lambdas (capture defaults, explicit captures, parameters, body
+//     range, enclosing function), and
+//   * namespace-scope variables plus on-demand local-declaration scans
+//     inside any token range.
+//
+// Like the lexer, the parser must never crash on arbitrary input: when
+// a construct is too exotic to classify it is skipped, and the rules
+// under-report rather than flood.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace mosaiq::lint {
+
+struct SemaParam {
+  std::string type;  ///< type tokens, space-joined
+  std::string name;  ///< "" for unnamed params
+  bool is_pointer = false;
+};
+
+struct SemaClass {
+  std::string name;
+  bool thread_safe = false;  ///< carries MOSAIQ_THREAD_SAFE
+  std::size_t line = 0;
+};
+
+struct SemaField {
+  std::string cls;   ///< enclosing class name
+  std::string name;
+  std::string type;  ///< declaration tokens before the name, space-joined
+  std::string guarded_by;  ///< mutex named by MOSAIQ_GUARDED_BY, "" if none
+  std::size_t line = 0;
+  bool is_static = false;
+  bool is_mutable = false;
+  bool is_const = false;
+  bool is_atomic = false;
+  bool is_mutex = false;      ///< std::mutex / shared_mutex / condition_variable
+  bool is_unordered = false;  ///< std::unordered_{map,set,...}
+};
+
+struct SemaFunction {
+  std::string cls;   ///< qualifying class ("" for free functions)
+  std::string name;
+  std::size_t line = 0;
+  std::size_t body_begin = 0;  ///< code-index just after the body '{'
+  std::size_t body_end = 0;    ///< code-index of the matching '}'
+  std::vector<SemaParam> params;
+  std::vector<std::string> requires_locks;  ///< MOSAIQ_REQUIRES(...) mutexes
+  std::vector<std::string> locks_held;      ///< terminal mutex names locked in body
+  bool is_ctor_dtor = false;
+};
+
+struct SemaLambda {
+  std::size_t intro = 0;       ///< code index of the capture '['
+  std::size_t line = 0;
+  std::size_t body_begin = 0;  ///< code-index just after the body '{'
+  std::size_t body_end = 0;    ///< code-index of the matching '}'
+  std::vector<SemaParam> params;
+  bool default_ref_capture = false;  ///< [&]
+  bool default_val_capture = false;  ///< [=]
+  std::vector<std::string> ref_captures;  ///< explicit &x
+  std::vector<std::string> val_captures;  ///< explicit x / x=expr / this
+  int enclosing_function = -1;  ///< index into Sema::functions, -1 free
+};
+
+struct SemaLocal {
+  std::string name;
+  std::string type;
+  std::size_t line = 0;
+  bool is_static = false;
+  bool is_thread_local = false;
+  bool is_const = false;  ///< const or constexpr
+  bool is_atomic = false;
+  bool is_unordered = false;
+  bool is_mutex = false;
+  bool is_pointer = false;
+};
+
+/// Per-TU symbol model.
+struct Sema {
+  const SourceFile* file = nullptr;
+  std::vector<SemaClass> classes;
+  std::vector<SemaField> fields;
+  std::vector<SemaFunction> functions;
+  std::vector<SemaLambda> lambdas;
+  std::vector<SemaLocal> globals;  ///< namespace-scope variables
+
+  /// Innermost function whose body range contains code index k, or -1.
+  int function_containing(std::size_t k) const;
+
+  /// Innermost lambda whose body range contains code index k, or -1.
+  int lambda_containing(std::size_t k) const;
+
+  /// Declarations `Type name ...` found inside the half-open code-index
+  /// range [begin, end): locals of a function or lambda body.
+  std::vector<SemaLocal> locals_in(std::size_t begin, std::size_t end) const;
+};
+
+/// Builds the per-TU symbol model.  Never throws on malformed input.
+Sema build_sema(const SourceFile& f);
+
+/// Matches the code-index of a '{' / '(' / '[' to its closing token;
+/// returns f.code.size() when unbalanced.
+std::size_t match_forward(const SourceFile& f, std::size_t open);
+
+}  // namespace mosaiq::lint
