@@ -23,19 +23,24 @@ cmake --build --preset default -j"$(nproc)"
 echo "==> ctest (default preset)"
 ctest --preset default -j"$(nproc)"
 
-echo "==> mosaiq-lint over src/ tools/ bench/ tests/ (full matrix)"
+echo "==> mosaiq-lint over src/ tools/ bench/ tests/ (full matrix, --threads)"
 # One invocation so cross-file annotations (header -> cpp) are honored;
 # tests/lint_fixtures seeds violations on purpose, so tests/ contributes
-# its top-level suites only.  A SARIF artifact lands in build/lint.sarif
-# for CI upload regardless of findings; the plain run is the gate.
-./build/tools/lint/mosaiq-lint --sarif src tools bench \
+# its top-level suites only.  A SARIF artifact (findings + fix-it data)
+# lands in build/lint.sarif for CI upload regardless of findings; the
+# plain run is the gate.  --threads output is byte-identical to serial
+# (lint_threads_deterministic gates that), so parallelism is free here.
+./build/tools/lint/mosaiq-lint --sarif --threads "$(nproc)" src tools bench \
   $(find tests -maxdepth 1 \( -name '*.cpp' -o -name '*.hpp' \)) \
   > build/lint.sarif || true
-./build/tools/lint/mosaiq-lint src tools bench \
+./build/tools/lint/mosaiq-lint --threads "$(nproc)" src tools bench \
   $(find tests -maxdepth 1 \( -name '*.cpp' -o -name '*.hpp' \))
 
 echo "==> mosaiq-lint --json/--sarif schema stability"
 scripts/check_lint_schema.sh ./build/tools/lint/mosaiq-lint tests/lint_fixtures
+
+echo "==> mosaiq-lint --fix idempotency"
+scripts/check_lint_fix.sh ./build/tools/lint/mosaiq-lint tests/lint_fixtures/fixable
 
 echo "==> header self-containment"
 scripts/check_headers.sh
@@ -53,12 +58,8 @@ echo "==> mosaiq-bench smoke + regression gate vs BENCH_baseline.json"
 ./build/tools/bench_runner/mosaiq-bench --compare BENCH_baseline.json \
   build/BENCH_smoke.json --tolerance 8.0
 
-if command -v clang-tidy > /dev/null 2>&1; then
-  echo "==> clang-tidy (baseline .clang-tidy)"
-  clang-tidy --quiet -p build $(find src -name '*.cpp') || true
-else
-  echo "==> clang-tidy not on PATH; skipping (mosaiq-lint is the enforced gate)"
-fi
+echo "==> clang-tidy over src/ (skips itself when not installed)"
+scripts/check_clang_tidy.sh build || [ $? -eq 77 ]
 
 if [ "$san" = 1 ]; then
   echo "==> ASan+UBSan: full suite"

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# lint_fix_idempotent gate (ctest): `mosaiq-lint --fix` must converge.
+#
+# Over a scratch copy of tests/lint_fixtures/fixable:
+#   1. a plain lint finds the seeded violations (exit 1),
+#   2. --fix applies every repair and exits 0 (no unfixable findings),
+#   3. a re-lint of the repaired tree is clean (exit 0),
+#   4. a second --fix changes no bytes (fix -> re-lint is a fixpoint).
+#
+# Usage: check_lint_fix.sh [path/to/mosaiq-lint] [fixable_dir]
+set -euo pipefail
+
+lint="${1:-./build/tools/lint/mosaiq-lint}"
+fixable="${2:-tests/lint_fixtures/fixable}"
+
+[ -x "$lint" ] || { echo "check_lint_fix: $lint not built"; exit 1; }
+[ -d "$fixable" ] || { echo "check_lint_fix: missing fixtures $fixable"; exit 1; }
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+# Keep the dir name: path-scoped rules (sim/) key off it.
+cp -r "$fixable" "$work/fixable"
+tree="$work/fixable"
+
+if "$lint" "$tree" > /dev/null 2>&1; then
+  echo "check_lint_fix: expected seeded findings before --fix, got a clean run"
+  exit 1
+fi
+
+if ! "$lint" --fix "$tree" > /dev/null 2>&1; then
+  echo "check_lint_fix: --fix left unfixable findings in the fixable fixtures"
+  "$lint" "$tree" || true
+  exit 1
+fi
+
+if ! "$lint" "$tree" > /dev/null 2>&1; then
+  echo "check_lint_fix: re-lint after --fix still reports findings (not convergent)"
+  "$lint" "$tree" || true
+  exit 1
+fi
+
+cp -r "$tree" "$work/after_first"
+"$lint" --fix "$tree" > /dev/null 2>&1 || true
+if ! diff -r "$work/after_first" "$tree" > /dev/null; then
+  echo "check_lint_fix: second --fix modified files (not idempotent)"
+  diff -r "$work/after_first" "$tree" || true
+  exit 1
+fi
+
+echo "check_lint_fix: --fix converges and is idempotent"

@@ -46,4 +46,16 @@ for key in '"version":"2.1.0"' '"mosaiq-lint"' '"ruleId":' '"results":' \
   echo "$sarif" | grep -qF "$key" || fail "--sarif output lost $key" "$sarif"
 done
 
+# Findings that carry machine repairs must surface them as SARIF fixes
+# (artifactChanges/replacements), which is what editors and CI bots
+# consume for one-click application.
+fixable="$fixtures/fixable"
+if [ -d "$fixable" ]; then
+  sarif_fix="$("$lint" --sarif "$fixable" || true)"
+  for key in '"fixes":' '"artifactChanges":' '"replacements":' \
+             '"deletedRegion":' '"insertedContent":'; do
+    echo "$sarif_fix" | grep -qF "$key" || fail "--sarif output lost fix-it $key" "$sarif_fix"
+  done
+fi
+
 echo "check_lint_schema: --json and --sarif schemas stable"

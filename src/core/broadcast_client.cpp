@@ -53,8 +53,12 @@ void BroadcastClient::tune_and_run(std::size_t region, const rtree::RangeQuery& 
   bc_bytes_rx_ += program_.index_bytes + r.bucket_bytes;
 
   // Unpack: directory + bucket payload pass through the protocol stack.
+  // Settling right after folds the protocol busy time into the wall
+  // ledger here (and, with a trace attached, gives the unpack its own
+  // span) instead of lumping it with run_local's query compute.
   net::charge_protocol_rx(net::wire_cost(program_.index_bytes, cfg_.protocol), client_);
   net::charge_protocol_rx(net::wire_cost(r.bucket_bytes, cfg_.protocol), client_);
+  transport_.settle_sleep();
 
   // Install the bucket as the local store + index.
   std::vector<geom::Segment> segs;

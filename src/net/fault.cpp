@@ -21,11 +21,13 @@ bool LinkFaultModel::link_down(double time_s) const {
 
 bool LinkFaultModel::deliver(std::uint32_t frame_bytes, double time_s) {
   ++frames_offered_;
-  // Outage loss is schedule-driven: no randomness is consumed, so the
-  // RNG stream (and everything after the outage) stays aligned with a
-  // run whose outage windows differ.
+  // Outage loss is schedule-driven: the loss-model draws below never
+  // run, so this arm must consume zero variates for the stream (and
+  // everything after the outage) to stay aligned with a run whose
+  // outage windows differ.  tests/test_fault.cpp pins the invariant.
   if (link_down(time_s)) {
     ++frames_lost_;
+    align_rng(rng_, 0);
     return false;
   }
   bool lost = false;

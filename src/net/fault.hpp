@@ -123,6 +123,18 @@ inline double backoff_s(double frame_rtt_s, std::uint32_t attempt) {
   return delay_s;
 }
 
+/// Re-aligns `rng` with a sibling execution path that consumed `draws`
+/// more variates.  Branches that decide without randomness (outage
+/// schedules, cached short-circuits) call this — usually with 0 — to
+/// assert by name that both arms of the decision leave the engine in
+/// the same state, so runs whose schedules differ replay bit-identical
+/// streams afterwards.  mosaiq-lint's rng-stream-balance rule treats a
+/// call to an align-named helper as proof the arm was balanced on
+/// purpose.
+inline void align_rng(std::mt19937_64& rng, unsigned long long draws) {
+  rng.discard(draws);
+}
+
 /// Seeded per-frame loss process.  deliver() consumes randomness in
 /// call order, so callers must offer frames in simulation order.
 class LinkFaultModel {

@@ -1,0 +1,14 @@
+// CFG fixture: do-while — the body must run before the condition, the
+// condition block must loop back to the body, and break must exit to
+// the after block.
+int drain(int n) {
+  int spins = 0;
+  do {
+    ++spins;
+    if (spins > 100) {
+      break;
+    }
+    --n;
+  } while (n > 0);
+  return spins;
+}

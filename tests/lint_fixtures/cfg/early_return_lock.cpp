@@ -1,0 +1,22 @@
+// CFG fixture: early return inside a lock scope — the RAII guard is
+// held at the return, so the lockset rule must NOT flag the access on
+// the surviving path (the returned-from block never merges back).
+#include <mutex>
+
+#define MOSAIQ_GUARDED_BY(m)
+
+class Box {
+ public:
+  int get(bool quick) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (quick) {
+      return value_;  // held here
+    }
+    value_ += 1;  // and held here: the return path does not rejoin
+    return value_;
+  }
+
+ private:
+  std::mutex mu_;
+  int value_ MOSAIQ_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,17 @@
+// CFG fixture: a lambda nested in a loop — the lambda body is opaque
+// to the enclosing function's CFG (it executes elsewhere) and is
+// analyzed as its own unit; the loop still gets header/body/after
+// blocks with a back edge.
+int sum_transformed(int n) {
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto scale = [](int v) {
+      if (v > 10) {
+        return v * 2;
+      }
+      return v;
+    };
+    total += scale(i);
+  }
+  return total;
+}

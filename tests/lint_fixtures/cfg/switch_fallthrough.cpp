@@ -1,0 +1,22 @@
+// CFG fixture: switch with fallthrough, break, and a default — the
+// builder must give each case group its own block, chain fallthrough
+// edges, and route break to the after-switch block.  Exercised
+// structurally by tests/test_lint_cfg.cpp.
+int classify(int mode) {
+  int score = 0;
+  switch (mode) {
+    case 0:
+      score = 1;
+      // falls through
+    case 1:
+      score += 2;
+      break;
+    case 2: {
+      score = 10;
+      break;
+    }
+    default:
+      score = -1;
+  }
+  return score;
+}

@@ -1,0 +1,14 @@
+// CFG fixture: try/catch — the handler must be reachable from the
+// pre-try state (an exception can fire before any try statement runs),
+// and both the try exit and every handler must join the after block.
+int parse_or(int fallback) {
+  int value = fallback;
+  try {
+    value = 42;
+  } catch (const int& code) {
+    value = code;
+  } catch (...) {
+    value = -1;
+  }
+  return value;
+}

@@ -1,0 +1,45 @@
+// Fixture: energy-ledger passing twin — every path from a spend
+// primitive reaches a ledger record before the function exits:
+// unconditional accumulation, per-arm accumulation, a measured return,
+// or a record in the spend's own statement.
+struct Nic {
+  void spend(double joules);
+};
+struct Clock {
+  void wait_seconds(double s);
+  double elapsed() const;
+};
+
+class Radio {
+ public:
+  // OK: unconditional accumulation right after the spend.
+  double send(double bytes) {
+    nic_.spend(bytes * 1e-6);
+    tx_j_ += bytes * 1e-6;
+    return tx_j_;
+  }
+
+  // OK: both arms of the branch record.
+  void idle(double dt, bool deep) {
+    clock_.wait_seconds(dt);
+    if (deep) {
+      sleep_s_ += dt;
+    } else {
+      idle_s_ += dt;
+    }
+  }
+
+  // OK: the cost is recorded by the measured return itself.
+  double measured(double dt) {
+    clock_.wait_seconds(dt);
+    return wall_seconds();
+  }
+
+ private:
+  double wall_seconds() const { return idle_s_ + sleep_s_; }
+  Nic nic_;
+  Clock clock_;
+  double tx_j_ = 0.0;
+  double idle_s_ = 0.0;
+  double sleep_s_ = 0.0;
+};

@@ -1,0 +1,36 @@
+// Fixture: energy-ledger — a spend primitive whose cost can escape the
+// function without landing in a _j/_s counter or span record.
+// energy_ledger_clean.cpp is the passing twin.
+struct Nic {
+  void spend(double joules);
+};
+struct Clock {
+  void wait_seconds(double s);
+};
+
+class Radio {
+ public:
+  // BAD: the !account path returns without recording the spend.
+  double send(double bytes, bool account) {
+    nic_.spend(bytes * 1e-6);
+    if (account) {
+      tx_j_ += bytes * 1e-6;
+    }
+    return 0.0;
+  }
+
+  // BAD: the early-out skips the accumulation entirely.
+  void idle(double dt, bool skip) {
+    clock_.wait_seconds(dt);
+    if (skip) {
+      return;
+    }
+    idle_s_ += dt;
+  }
+
+ private:
+  Nic nic_;
+  Clock clock_;
+  double tx_j_ = 0.0;
+  double idle_s_ = 0.0;
+};

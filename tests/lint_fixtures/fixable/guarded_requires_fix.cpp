@@ -1,0 +1,18 @@
+// Fixable fixture: guarded-by — peek() touches a guarded field without
+// locking; --fix inserts MOSAIQ_REQUIRES(mu_) before the body, which
+// both documents the contract and satisfies the rule on re-lint.
+#include <mutex>
+
+#define MOSAIQ_GUARDED_BY(m)
+#define MOSAIQ_REQUIRES(m)
+
+class Cell {
+ public:
+  long peek() const {
+    return stored_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  long stored_ MOSAIQ_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,12 @@
+// Fixable fixture: include-hygiene — this header uses std::vector and
+// uint64_t without the direct includes.  `mosaiq-lint --fix` must
+// insert both `#include` lines after the last existing angle include,
+// after which a re-lint is clean and a second --fix is a no-op
+// (scripts/check_lint_fix.sh).
+#pragma once
+
+#include <string>
+
+inline std::string label() { return "fixable"; }
+
+inline std::vector<uint64_t> bucket() { return {1u, 2u, 3u}; }

@@ -1,0 +1,10 @@
+// Fixable fixture: unit-suffix — 'energy' and 'latency' carry no unit
+// token; --fix renames them to their canonical units (_j, _s) at every
+// occurrence in the file, after which a re-lint is clean.
+double energy = 0.0;
+double latency = 0.0;
+
+void account() {
+  energy = energy + 1.5;
+  latency = latency + 0.25;
+}

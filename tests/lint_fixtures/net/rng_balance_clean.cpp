@@ -1,0 +1,42 @@
+// Fixture: rng-stream-balance passing twin — both arms draw, or the
+// silent arm routes through a named alignment helper that discards the
+// same number of draws, keeping seeded streams in lockstep.
+#include <random>
+
+inline void align_rng(std::mt19937_64& rng, int draws) {
+  rng.discard(static_cast<unsigned long long>(draws));
+}
+
+class Channel {
+ public:
+  // OK: both arms consume exactly one draw.
+  double deliver(bool up) {
+    if (up) {
+      return uniform_(rng_);
+    } else {
+      return 1.0 - uniform_(rng_);
+    }
+  }
+
+  // OK: the outage arm realigns the stream through the helper.
+  double sample(bool outage) {
+    if (outage) {
+      align_rng(rng_, 1);
+      return 1.0;
+    }
+    return uniform_(rng_);
+  }
+
+  // OK: draw hoisted above the branch; arms are draw-free.
+  double hoisted(bool up) {
+    const double u = uniform_(rng_);
+    if (up) {
+      return u;
+    }
+    return 1.0 - u;
+  }
+
+ private:
+  std::mt19937_64 rng_{7};
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};

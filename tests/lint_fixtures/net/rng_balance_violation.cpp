@@ -1,0 +1,29 @@
+// Fixture: rng-stream-balance — branches that consume seeded-engine
+// draws on one path but not the sibling silently desynchronize seeded
+// streams between configurations.  rng_balance_clean.cpp is the
+// passing twin.
+#include <random>
+
+class Channel {
+ public:
+  // BAD: the up-arm draws once, the implicit else draws nothing.
+  bool deliver(bool up) {
+    double loss = 0.0;
+    if (up) {
+      loss = uniform_(rng_);
+    }
+    return loss < 0.5;
+  }
+
+  // BAD: the early-out returns past a draw the surviving path makes.
+  double sample(bool outage) {
+    if (outage) {
+      return 1.0;
+    }
+    return uniform_(rng_);
+  }
+
+ private:
+  std::mt19937_64 rng_{42};
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};

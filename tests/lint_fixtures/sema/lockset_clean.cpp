@@ -1,0 +1,37 @@
+// Fixture: lockset passing twin — early returns inside the lock scope,
+// re-acquisition before the access, and MOSAIQ_REQUIRES contracts are
+// all fine: the mutex is held on every path that reaches the guarded
+// field.
+#include <mutex>
+
+#define MOSAIQ_GUARDED_BY(m)
+#define MOSAIQ_REQUIRES(m)
+
+class Ledger {
+ public:
+  void early_return(bool fast) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (fast) {
+      ++hits_;  // OK: still inside the guard scope
+      return;
+    }
+    ++hits_;  // OK: held on the slow path too
+  }
+
+  void relock(bool flush) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (flush) {
+      lk.unlock();
+      lk.lock();
+    }
+    ++hits_;  // OK: both arms end with the lock held
+  }
+
+  void caller_holds() MOSAIQ_REQUIRES(mu_) {
+    ++hits_;  // OK: the contract says the caller already locked mu_
+  }
+
+ private:
+  std::mutex mu_;
+  long hits_ MOSAIQ_GUARDED_BY(mu_) = 0;
+};

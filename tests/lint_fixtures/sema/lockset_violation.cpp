@@ -1,0 +1,42 @@
+// Fixture: lockset — the path-sensitive upgrade of guarded-by.  Every
+// function here DOES lock the mutex, so the flow-insensitive guarded-by
+// rule stays silent; the lockset rule must still flag the accesses that
+// happen on a path where the lock is not held.  lockset_clean.cpp is
+// the passing twin.
+#include <mutex>
+
+#define MOSAIQ_GUARDED_BY(m)
+#define MOSAIQ_REQUIRES(m)
+
+class Ledger {
+ public:
+  void early_unlock(bool fast) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (fast) {
+      lk.unlock();
+    }
+    ++hits_;  // BAD: the fast path unlocked before this access
+  }
+
+  void conditional_acquire(bool locked_path) {
+    if (locked_path) {
+      std::lock_guard<std::mutex> lk(mu_);
+      hits_ = 0;  // OK: held on this path
+    }
+    ++hits_;  // BAD: guard scope closed; the other path never locked
+  }
+
+  void unlocked_arm(bool take) {
+    std::unique_lock<std::mutex> lk(mu_, std::defer_lock);
+    if (take) {
+      lk.lock();
+      ++hits_;  // OK: explicitly acquired on this arm
+    } else {
+      ++hits_;  // BAD: the defer_lock guard never acquired here
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  long hits_ MOSAIQ_GUARDED_BY(mu_) = 0;
+};

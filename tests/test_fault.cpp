@@ -103,6 +103,23 @@ TEST(FaultModel, OutageWindowsLoseFramesWithoutConsumingRandomness) {
   }
 }
 
+TEST(FaultModel, AlignRngMatchesTheDrawsItStandsInFor) {
+  // align_rng(rng, n) must leave the engine exactly where consuming n
+  // variates would have, and align_rng(rng, 0) — the outage arm's named
+  // no-op in deliver() — must not move the stream at all.
+  std::mt19937_64 consumed(42);
+  std::mt19937_64 aligned(42);
+  std::uniform_real_distribution<double> u{0.0, 1.0};
+  for (int i = 0; i < 3; ++i) (void)u(consumed);
+  net::align_rng(aligned, 3);
+  EXPECT_EQ(consumed(), aligned());
+
+  std::mt19937_64 untouched(7);
+  std::mt19937_64 zeroed(7);
+  net::align_rng(zeroed, 0);
+  EXPECT_EQ(untouched(), zeroed());
+}
+
 // --- deterministic retry arithmetic -------------------------------------
 
 TEST(RetryPolicy, TimeoutAndBackoffSequencesAreExact) {

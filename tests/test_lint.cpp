@@ -35,13 +35,14 @@ std::vector<std::size_t> lines_of(const std::vector<Finding>& fs, const std::str
   return lines;
 }
 
-TEST(LintRegistry, HasTheNineRuleFamilies) {
+TEST(LintRegistry, HasTheTwelveRuleFamilies) {
   std::vector<std::string> names;
   for (const auto& r : registry()) names.push_back(r.name);
   EXPECT_EQ(names,
             (std::vector<std::string>{"include-hygiene", "unsigned-wrap", "determinism",
                                       "unit-suffix", "guarded-by", "parallel-capture",
-                                      "nested-parallel", "determinism-flow", "unit-flow"}));
+                                      "nested-parallel", "determinism-flow", "unit-flow",
+                                      "lockset", "rng-stream-balance", "energy-ledger"}));
 }
 
 TEST(LintIncludeHygiene, FlagsEachMissingHeaderOnce) {

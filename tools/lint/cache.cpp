@@ -6,11 +6,11 @@
 
 namespace mosaiq::lint {
 
-const char* const kAnalyzerVersion = "mosaiq-lint-v2.0";
+const char* const kAnalyzerVersion = "mosaiq-lint-v3.0";
 
 namespace {
 
-constexpr char kMagic[] = "mosaiq-lint-cache v2";
+constexpr char kMagic[] = "mosaiq-lint-cache v3";
 
 std::uint64_t fnv(std::uint64_t h, const std::string& s) {
   for (const char c : s) {
@@ -80,18 +80,41 @@ void ResultCache::load(const std::string& path) {
         entries_.clear();
         return;
       }
-      Finding fi;
-      std::size_t a = line.find('\t');
-      std::size_t b = a == std::string::npos ? a : line.find('\t', a + 1);
-      std::size_t c = b == std::string::npos ? b : line.find('\t', b + 1);
-      if (c == std::string::npos) {
+      // v3 record: rule, file, line, message, nfix, then per fix
+      // {begin, end, text} — escaped fields, tab-separated.
+      std::vector<std::string> fields;
+      std::size_t start = 0;
+      while (true) {
+        const std::size_t t = line.find('\t', start);
+        // mosaiq-lint: allow(unsigned-wrap) — the ternary pins t >= start
+        // before subtracting (npos selects the take-the-rest branch).
+        fields.push_back(line.substr(start, t == std::string::npos ? t : t - start));
+        if (t == std::string::npos) break;
+        start = t + 1;
+      }
+      if (fields.size() < 5) {
         entries_.clear();
         return;
       }
-      fi.rule = unescape(line.substr(0, a));
-      fi.file = unescape(line.substr(a + 1, b - a - 1));  // mosaiq-lint: allow(unsigned-wrap) — b = find('\\t', a+1) > a past the npos checks
-      fi.line = static_cast<std::size_t>(std::strtoull(line.c_str() + b + 1, nullptr, 10));
-      fi.message = unescape(line.substr(c + 1));
+      Finding fi;
+      fi.rule = unescape(fields[0]);
+      fi.file = unescape(fields[1]);
+      fi.line = static_cast<std::size_t>(std::strtoull(fields[2].c_str(), nullptr, 10));
+      fi.message = unescape(fields[3]);
+      const auto nfix = std::strtoull(fields[4].c_str(), nullptr, 10);
+      if (fields.size() != 5 + nfix * 3) {
+        entries_.clear();
+        return;
+      }
+      for (std::size_t fx = 0; fx < nfix; ++fx) {
+        TextEdit ed;
+        ed.begin = static_cast<std::size_t>(
+            std::strtoull(fields[5 + fx * 3].c_str(), nullptr, 10));
+        ed.end = static_cast<std::size_t>(
+            std::strtoull(fields[6 + fx * 3].c_str(), nullptr, 10));
+        ed.text = unescape(fields[7 + fx * 3]);
+        fi.fixes.push_back(std::move(ed));
+      }
       fs.push_back(std::move(fi));
     }
     entries_[key] = std::move(fs);
@@ -108,7 +131,11 @@ bool ResultCache::save(const std::string& path) const {
     out << buf << " " << fs.size() << "\n";
     for (const Finding& fi : fs) {
       out << escape(fi.rule) << "\t" << escape(fi.file) << "\t" << fi.line << "\t"
-          << escape(fi.message) << "\n";
+          << escape(fi.message) << "\t" << fi.fixes.size();
+      for (const TextEdit& ed : fi.fixes) {
+        out << "\t" << ed.begin << "\t" << ed.end << "\t" << escape(ed.text);
+      }
+      out << "\n";
     }
   }
   return static_cast<bool>(out);

@@ -1,0 +1,339 @@
+#include "lint/cfg.hpp"
+
+#include <algorithm>
+
+#include "lint/sema.hpp"
+
+namespace mosaiq::lint {
+
+namespace {
+
+const Token& tok(const SourceFile& f, std::size_t k) { return f.tokens[f.code[k]]; }
+bool is_punct(const SourceFile& f, std::size_t k, std::string_view p) {
+  return k < f.code.size() && tok(f, k).kind == TokKind::Punct && tok(f, k).text == p;
+}
+bool is_ident(const SourceFile& f, std::size_t k, std::string_view name) {
+  return k < f.code.size() && tok(f, k).kind == TokKind::Identifier && tok(f, k).text == name;
+}
+bool is_bracket(const SourceFile& f, std::size_t k) {
+  return is_punct(f, k, "(") || is_punct(f, k, "[") || is_punct(f, k, "{");
+}
+
+struct Builder {
+  const SourceFile& f;
+  std::size_t end;  ///< body close: every range is clamped to it
+  Cfg cfg;
+  std::vector<int> break_targets;
+  std::vector<int> continue_targets;
+
+  explicit Builder(const SourceFile& file, std::size_t body_end) : f(file), end(body_end) {}
+
+  int new_block() {
+    cfg.blocks.emplace_back();
+    return static_cast<int>(cfg.blocks.size()) - 1;
+  }
+  void edge(int a, int b) {
+    auto& s = cfg.blocks[a].succs;
+    if (std::find(s.begin(), s.end(), b) == s.end()) s.push_back(b);
+  }
+  void stmt(int b, std::size_t s, std::size_t e) {
+    if (s < e) cfg.blocks[b].stmts.push_back({s, e});
+  }
+  /// match_forward clamped to the body range.
+  std::size_t close_of(std::size_t open) const {
+    return std::min(match_forward(f, open), end);
+  }
+
+  /// End of the single statement starting at k, control-aware: an
+  /// if/while/for/do/switch/try statement extends over its whole arm
+  /// structure, anything else runs to the `;` (or `}`) that ends it.
+  std::size_t extent(std::size_t k) const {
+    if (k >= end) return end;
+    const Token& t = tok(f, k);
+    if (t.kind == TokKind::Identifier) {
+      if (t.text == "if") {
+        std::size_t j = k + 1;
+        if (is_ident(f, j, "constexpr")) ++j;
+        if (!is_punct(f, j, "(")) return plain_extent(k);
+        std::size_t e = extent(close_of(j) + 1);
+        if (e < end && is_ident(f, e, "else")) e = extent(e + 1);
+        return e;
+      }
+      if (t.text == "while" || t.text == "for" || t.text == "switch") {
+        if (!is_punct(f, k + 1, "(")) return plain_extent(k);
+        const std::size_t c = close_of(k + 1);
+        if (t.text == "switch")
+          return is_punct(f, c + 1, "{") ? std::min(close_of(c + 1) + 1, end)
+                                         : plain_extent(c + 1);
+        return extent(c + 1);
+      }
+      if (t.text == "do") {
+        std::size_t j = extent(k + 1);  // body
+        if (j < end && is_ident(f, j, "while") && is_punct(f, j + 1, "(")) {
+          j = close_of(j + 1) + 1;
+          if (j < end && is_punct(f, j, ";")) ++j;
+        }
+        return std::min(j, end);
+      }
+      if (t.text == "try") {
+        if (!is_punct(f, k + 1, "{")) return plain_extent(k);
+        std::size_t j = close_of(k + 1) + 1;
+        while (j < end && is_ident(f, j, "catch") && is_punct(f, j + 1, "(")) {
+          const std::size_t c = close_of(j + 1);
+          if (!is_punct(f, c + 1, "{")) break;
+          j = close_of(c + 1) + 1;
+        }
+        return std::min(j, end);
+      }
+    }
+    if (is_punct(f, k, "{")) return std::min(close_of(k) + 1, end);
+    return plain_extent(k);
+  }
+
+  /// Extent of a non-control statement: to the `;` at nesting depth 0.
+  std::size_t plain_extent(std::size_t k) const {
+    std::size_t j = k;
+    while (j < end) {
+      if (is_punct(f, j, ";")) return j + 1;
+      if (is_punct(f, j, "}")) return j + 1;  // malformed: consume, never loop
+      if (is_bracket(f, j)) {
+        j = close_of(j) + 1;
+        continue;
+      }
+      ++j;
+    }
+    return end;
+  }
+
+  /// Parses the statement list [k, stop) starting in block `cur`.
+  /// Returns the block where control falls out the bottom; when every
+  /// path terminated earlier, that block is simply unreachable.
+  int seq(std::size_t k, std::size_t stop, int cur) {
+    stop = std::min(stop, end);
+    while (k < stop) {
+      const Token& t = tok(f, k);
+      if (t.kind == TokKind::Identifier) {
+        if (t.text == "if") {
+          std::size_t j = k + 1;
+          if (is_ident(f, j, "constexpr")) ++j;
+          if (is_punct(f, j, "(")) {
+            const std::size_t c = close_of(j);
+            stmt(cur, k, c + 1);
+            const std::size_t then_end = extent(c + 1);
+            const int then_b = new_block();
+            edge(cur, then_b);
+            const int then_out = seq(c + 1, then_end, then_b);
+            const int join = new_block();
+            edge(then_out, join);
+            if (then_end < stop && is_ident(f, then_end, "else")) {
+              const std::size_t else_end = extent(then_end + 1);
+              const int else_b = new_block();
+              edge(cur, else_b);
+              edge(seq(then_end + 1, else_end, else_b), join);
+              k = else_end;
+            } else {
+              edge(cur, join);
+              k = then_end;
+            }
+            cur = join;
+            continue;
+          }
+        } else if (t.text == "while" || t.text == "for") {
+          if (is_punct(f, k + 1, "(")) {
+            const std::size_t c = close_of(k + 1);
+            const int header = new_block();
+            edge(cur, header);
+            stmt(header, k, c + 1);
+            const std::size_t body_end = extent(c + 1);
+            const int body = new_block();
+            const int after = new_block();
+            edge(header, body);
+            edge(header, after);
+            break_targets.push_back(after);
+            continue_targets.push_back(header);
+            edge(seq(c + 1, body_end, body), header);
+            break_targets.pop_back();
+            continue_targets.pop_back();
+            cur = after;
+            k = body_end;
+            continue;
+          }
+        } else if (t.text == "do") {
+          const int body = new_block();
+          edge(cur, body);
+          const std::size_t body_end = extent(k + 1);
+          const int condb = new_block();
+          const int after = new_block();
+          break_targets.push_back(after);
+          continue_targets.push_back(condb);
+          edge(seq(k + 1, body_end, body), condb);
+          break_targets.pop_back();
+          continue_targets.pop_back();
+          std::size_t j = body_end;
+          if (j < stop && is_ident(f, j, "while") && is_punct(f, j + 1, "(")) {
+            const std::size_t c = close_of(j + 1);
+            stmt(condb, j, c + 1);
+            j = c + 1;
+            if (j < stop && is_punct(f, j, ";")) ++j;
+          }
+          edge(condb, body);
+          edge(condb, after);
+          cur = after;
+          k = j;
+          continue;
+        } else if (t.text == "switch") {
+          if (is_punct(f, k + 1, "(") && is_punct(f, close_of(k + 1) + 1, "{")) {
+            const std::size_t c = close_of(k + 1);
+            stmt(cur, k, c + 1);
+            k = parse_switch(c + 1, cur);
+            cur = last_switch_after_;
+            continue;
+          }
+        } else if (t.text == "try") {
+          if (is_punct(f, k + 1, "{")) {
+            const std::size_t tclose = close_of(k + 1);
+            const int tryb = new_block();
+            edge(cur, tryb);
+            const int after = new_block();
+            edge(seq(k + 2, tclose, tryb), after);
+            std::size_t j = tclose + 1;
+            while (j < stop && is_ident(f, j, "catch") && is_punct(f, j + 1, "(")) {
+              const std::size_t c = close_of(j + 1);
+              if (!is_punct(f, c + 1, "{")) break;
+              const std::size_t cclose = close_of(c + 1);
+              const int catchb = new_block();
+              // The exception may fire before any try statement ran:
+              // the catch joins from the pre-try state (RAII guards
+              // acquired inside try have unwound by the handler).
+              edge(cur, catchb);
+              stmt(catchb, j + 1, c + 1);
+              edge(seq(c + 2, cclose, catchb), after);
+              j = cclose + 1;
+            }
+            cur = after;
+            k = j;
+            continue;
+          }
+        } else if (t.text == "return" || t.text == "throw") {
+          const std::size_t e = plain_extent(k);
+          stmt(cur, k, e);
+          edge(cur, cfg.exit);
+          cur = new_block();  // dead: anything after the terminator
+          k = e;
+          continue;
+        } else if (t.text == "break" || t.text == "continue") {
+          const std::size_t e = plain_extent(k);
+          stmt(cur, k, e);
+          const auto& targets = t.text == "break" ? break_targets : continue_targets;
+          edge(cur, targets.empty() ? cfg.exit : targets.back());
+          cur = new_block();
+          k = e;
+          continue;
+        }
+      }
+      if (is_punct(f, k, "{")) {  // plain compound statement
+        const std::size_t c = close_of(k);
+        cur = seq(k + 1, c, cur);
+        k = c + 1;
+        continue;
+      }
+      const std::size_t e = extent(k);
+      if (e <= k) break;  // defensive: never stall
+      stmt(cur, k, e);
+      k = e;
+    }
+    return cur;
+  }
+
+  /// Parses a switch body whose '{' is at `open`; `header` already
+  /// holds the selector.  Returns the code index past the '}'.  Sets
+  /// last_switch_after_ to the after-switch block.
+  std::size_t parse_switch(std::size_t open, int header) {
+    const std::size_t close = close_of(open);
+    const int after = new_block();
+    last_switch_after_ = after;
+    break_targets.push_back(after);
+
+    // Label positions at nesting depth 0 (nested switches hide behind
+    // their braces, which the scan jumps over).
+    struct Label {
+      std::size_t begin;       ///< the `case`/`default` token
+      std::size_t stmts_begin; ///< just past the ':'
+      bool is_default;
+    };
+    std::vector<Label> labels;
+    for (std::size_t j = open + 1; j < close;) {
+      if (is_bracket(f, j)) {
+        j = close_of(j) + 1;
+        continue;
+      }
+      if (is_ident(f, j, "case") || is_ident(f, j, "default")) {
+        Label l{j, j, is_ident(f, j, "default")};
+        while (j < close && !is_punct(f, j, ":")) {
+          if (is_bracket(f, j)) j = close_of(j);
+          ++j;
+        }
+        l.stmts_begin = std::min(j + 1, close);
+        labels.push_back(l);
+        j = l.stmts_begin;
+        continue;
+      }
+      ++j;
+    }
+
+    bool has_default = false;
+    int prev_out = -1;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const std::size_t s = labels[i].stmts_begin;
+      const std::size_t e = i + 1 < labels.size() ? labels[i + 1].begin : close;
+      const int b = new_block();
+      edge(header, b);
+      if (prev_out >= 0) edge(prev_out, b);  // fallthrough from the group above
+      prev_out = seq(s, e, b);
+      has_default = has_default || labels[i].is_default;
+    }
+    if (prev_out >= 0) edge(prev_out, after);
+    if (!has_default || labels.empty()) edge(header, after);
+    break_targets.pop_back();
+    return close + 1;
+  }
+
+  int last_switch_after_ = -1;
+};
+
+}  // namespace
+
+Cfg build_cfg(const SourceFile& f, std::size_t begin, std::size_t end) {
+  Builder b(f, std::min(end, f.code.size()));
+  b.cfg.entry = b.new_block();
+  b.cfg.exit = b.new_block();
+  const int out = b.seq(begin, b.end, b.cfg.entry);
+  b.edge(out, b.cfg.exit);  // fall off the bottom
+  return std::move(b.cfg);
+}
+
+std::size_t stmt_extent(const SourceFile& f, std::size_t k, std::size_t end) {
+  return Builder(f, std::min(end, f.code.size())).extent(k);
+}
+
+std::vector<int> reachable_blocks(const Cfg& cfg) {
+  std::vector<char> seen(cfg.blocks.size(), 0);
+  std::vector<int> stack{cfg.entry};
+  seen[static_cast<std::size_t>(cfg.entry)] = 1;
+  while (!stack.empty()) {
+    const int b = stack.back();
+    stack.pop_back();
+    for (const int s : cfg.blocks[static_cast<std::size_t>(b)].succs) {
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = 1;
+        stack.push_back(s);
+      }
+    }
+  }
+  std::vector<int> out;
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    if (seen[i]) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+}  // namespace mosaiq::lint

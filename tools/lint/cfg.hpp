@@ -1,0 +1,59 @@
+// Per-function control-flow graph for mosaiq-lint (analyzer v3).
+//
+// A structural CFG builder over the code-token stream: given a function
+// or lambda body range from sema.hpp, it recovers basic blocks and
+// edges for if/else, while/for/range-for, do-while, switch (including
+// case fallthrough), break/continue, early return, throw, and
+// try/catch.  Statements are half-open code-index ranges, so the
+// dataflow clients (dataflow.hpp, cfg_rules.cpp) can walk the original
+// tokens of each block in program order.
+//
+// Like the rest of the analyzer it is a heuristic front end, not a
+// parser: a construct too exotic to classify degrades into a plain
+// linear statement (the graph stays connected and the rules
+// under-report rather than crash).  Nested lambda bodies are kept
+// inside the statement that introduces them — they execute elsewhere,
+// so callers exclude them via Sema::lambda_containing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace mosaiq::lint {
+
+/// Half-open code-index range of one statement (or statement fragment:
+/// a branch condition, a loop header, a catch declaration).
+struct CfgStmt {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+struct CfgBlock {
+  std::vector<CfgStmt> stmts;
+  std::vector<int> succs;  ///< block ids, in construction order
+};
+
+struct Cfg {
+  std::vector<CfgBlock> blocks;
+  int entry = 0;  ///< holds the body's leading statements
+  int exit = 0;   ///< virtual: every return/throw/fall-off edges here
+};
+
+/// Builds the CFG of the statement list in the half-open code-index
+/// range [begin, end) — a function or lambda body as reported by Sema.
+/// Never throws on malformed input.
+Cfg build_cfg(const SourceFile& f, std::size_t begin, std::size_t end);
+
+/// Block ids reachable from cfg.entry, sorted (unreachable blocks are
+/// parsed dead code after a terminator).
+std::vector<int> reachable_blocks(const Cfg& cfg);
+
+/// End of the single statement starting at code index k, clamped to
+/// `end` — control-aware (an if extends over its whole else chain, a
+/// loop over its body).  The builder's statement scanner, exposed for
+/// rules that compare sibling branch arms.
+std::size_t stmt_extent(const SourceFile& f, std::size_t k, std::size_t end);
+
+}  // namespace mosaiq::lint

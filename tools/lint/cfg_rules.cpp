@@ -1,0 +1,534 @@
+// The three path-sensitive mosaiq-lint rule families (analyzer v3),
+// built on the per-function CFG (cfg.hpp) and the forward-dataflow
+// engine (dataflow.hpp):
+//
+//   lockset             upgrades guarded-by from "a lock appears in the
+//                       function" to per-path lockset tracking: a
+//                       guarded field touched after an early unlock, on
+//                       the unlocked arm of a branch, or under a
+//                       conditionally-acquired lock is flagged even
+//                       though the function does lock the mutex
+//                       somewhere.
+//   rng-stream-balance  in net|sim|core, an if whose one path consumes
+//                       draws from a seeded engine while the sibling
+//                       path consumes none silently desynchronizes
+//                       seeded streams between configurations; the
+//                       silent arm must go through a named
+//                       align_rng()/discard() helper.
+//   energy-ledger       in core, a call to a spend primitive (.spend,
+//                       .wait_seconds, charge_protocol_tx/rx) must be
+//                       followed on *every* path to function exit by a
+//                       ledger record: a span emit, or an accumulation
+//                       into a _j/_s-suffixed counter.  The static
+//                       complement of the runtime <1e-9 J conservation
+//                       oracle.
+//
+// Like the v2 families, everything is heuristic: exotic constructs
+// degrade to under-reporting, never crashes or floods.
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/cfg.hpp"
+#include "lint/dataflow.hpp"
+#include "lint/index.hpp"
+#include "lint/lint.hpp"
+#include "lint/sema.hpp"
+
+namespace mosaiq::lint {
+
+namespace {
+
+const Token& tok(const SourceFile& f, std::size_t k) { return f.tokens[f.code[k]]; }
+bool is_punct(const SourceFile& f, std::size_t k, std::string_view p) {
+  return k < f.code.size() && tok(f, k).kind == TokKind::Punct && tok(f, k).text == p;
+}
+bool is_ident(const SourceFile& f, std::size_t k) {
+  return k < f.code.size() && tok(f, k).kind == TokKind::Identifier;
+}
+bool is_ident(const SourceFile& f, std::size_t k, std::string_view name) {
+  return is_ident(f, k) && tok(f, k).text == name;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+bool path_in(const std::string& path, std::initializer_list<const char*> dirs) {
+  for (const char* d : dirs) {
+    const std::size_t at = path.find(d);
+    if (at != std::string::npos && (at == 0 || path[at - 1] == '/')) return true;
+  }
+  return false;
+}
+
+/// (block, statement index) of the statement containing code index k.
+struct StmtPos {
+  int block = -1;
+  std::size_t stmt = 0;
+};
+StmtPos locate(const Cfg& cfg, std::size_t k) {
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    const auto& stmts = cfg.blocks[b].stmts;
+    for (std::size_t s = 0; s < stmts.size(); ++s) {
+      if (stmts[s].begin <= k && k < stmts[s].end) return {static_cast<int>(b), s};
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// lockset
+
+/// One RAII guard declaration inside a body: `lock_guard<...> g(mu);`,
+/// `scoped_lock g(a, b);`, `unique_lock g(mu[, defer_lock]);`.
+struct GuardDecl {
+  std::string var;
+  std::vector<std::string> mutexes;  ///< terminal names of the lockable args
+  std::size_t decl = 0;              ///< code index of the locker keyword
+  std::size_t scope_end = 0;         ///< code index of the enclosing '}'
+  bool deferred = false;             ///< defer_lock/try_to_lock: no gen at decl
+};
+
+/// Code index of the '}' closing the innermost brace scope containing
+/// k, scanning within [k, end).
+std::size_t scope_close(const SourceFile& f, std::size_t k, std::size_t end) {
+  int depth = 0;
+  for (std::size_t j = k; j < end; ++j) {
+    if (is_punct(f, j, "{")) ++depth;
+    else if (is_punct(f, j, "}")) {
+      if (depth == 0) return j;
+      --depth;
+    }
+  }
+  return end;
+}
+
+std::vector<GuardDecl> guard_decls(const SourceFile& f, std::size_t begin, std::size_t end) {
+  static const std::set<std::string> kLockers = {"lock_guard", "scoped_lock", "unique_lock",
+                                                 "shared_lock"};
+  std::vector<GuardDecl> out;
+  for (std::size_t k = begin; k < end; ++k) {
+    if (!is_ident(f, k) || !kLockers.count(tok(f, k).text)) continue;
+    std::size_t j = k + 1;
+    if (is_punct(f, j, "<")) {  // optional template argument list
+      int depth = 0;
+      const std::size_t limit = std::min(end, j + 64);
+      for (; j < limit; ++j) {
+        if (is_punct(f, j, "<")) ++depth;
+        else if (is_punct(f, j, ">") && --depth == 0) break;
+        else if (is_punct(f, j, ">>") && (depth -= 2) <= 0) break;
+      }
+      ++j;
+    }
+    if (!is_ident(f, j)) continue;  // needs a guard variable name
+    GuardDecl g;
+    g.var = tok(f, j).text;
+    g.decl = k;
+    ++j;
+    if (!is_punct(f, j, "(")) continue;
+    const std::size_t c = match_forward(f, j);
+    if (c >= end) continue;
+    // Terminal identifier of each top-level argument.
+    int depth = 0;
+    std::string last;
+    for (std::size_t a = j + 1; a <= c; ++a) {
+      if (a < c && is_punct(f, a, "(")) ++depth;
+      else if (a < c && is_punct(f, a, ")")) --depth;
+      if (is_ident(f, a)) last = tok(f, a).text;
+      if (a == c || (depth == 0 && is_punct(f, a, ","))) {
+        if (last == "defer_lock" || last == "try_to_lock") g.deferred = true;
+        else if (last == "adopt_lock") {
+          // adopted: already held, gen at decl as usual
+        } else if (!last.empty()) {
+          g.mutexes.push_back(last);
+        }
+        last.clear();
+      }
+    }
+    if (g.mutexes.empty()) continue;
+    g.scope_end = scope_close(f, c + 1, end);
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+/// Applies lockset gen/kill events of code range [begin, end) to state.
+void lockset_events(const SourceFile& f, std::size_t begin, std::size_t end,
+                    const std::vector<GuardDecl>& guards, std::size_t body_end,
+                    LockState& state) {
+  for (std::size_t k = begin; k < end; ++k) {
+    for (const GuardDecl& g : guards) {
+      if (g.decl == k && !g.deferred) {
+        for (const std::string& mu : g.mutexes) state[mu] = g.scope_end;
+      }
+    }
+    // x.lock() / x.unlock() — x a guard variable or a mutex itself.
+    if (is_ident(f, k) && (tok(f, k).text == "lock" || tok(f, k).text == "unlock") &&
+        is_punct(f, k + 1, "(") && k >= 2 &&
+        (is_punct(f, k - 1, ".") || is_punct(f, k - 1, "->")) && is_ident(f, k - 2)) {
+      const std::string& recv = tok(f, k - 2).text;
+      const bool acquire = tok(f, k).text == "lock";
+      const GuardDecl* guard = nullptr;
+      for (const GuardDecl& g : guards) {
+        if (g.var == recv && g.decl < k && k < g.scope_end) guard = &g;
+      }
+      const std::vector<std::string> mus =
+          guard ? guard->mutexes : std::vector<std::string>{recv};
+      for (const std::string& mu : mus) {
+        if (acquire) state[mu] = guard ? guard->scope_end : body_end;
+        else state.erase(mu);
+      }
+    }
+  }
+}
+
+/// Drops guards whose scope closed before code index k.
+void expire_scopes(std::size_t k, LockState& state) {
+  for (auto it = state.begin(); it != state.end();) {
+    if (it->second < k) it = state.erase(it);
+    else ++it;
+  }
+}
+
+void check_lockset(const Sema& s, const CrossIndex& ix, std::vector<Finding>& out) {
+  const SourceFile& f = *s.file;
+
+  for (const SemaFunction& fn : s.functions) {
+    if (fn.is_ctor_dtor || fn.body_begin >= fn.body_end) continue;
+
+    // Guarded-field accesses in this body, mirroring guarded-by's
+    // resolution; only mutexes the function *does* hold somewhere are
+    // interesting (otherwise guarded-by already reports).
+    struct Access {
+      std::size_t k;
+      std::string cls, name, mu;
+    };
+    std::vector<Access> accesses;
+    for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
+      if (!is_ident(f, k)) continue;
+      const std::string& name = tok(f, k).text;
+      const auto fc = ix.field_classes.find(name);
+      if (fc == ix.field_classes.end()) continue;
+      if (is_punct(f, k + 1, "(")) continue;            // a call: method, not field
+      if (k >= 1 && is_punct(f, k - 1, "::")) continue; // qualified non-member use
+      if (s.lambda_containing(k) >= 0) continue;  // runs elsewhere: judged separately
+      const bool member_access =
+          k >= 1 && (is_punct(f, k - 1, ".") || is_punct(f, k - 1, "->"));
+      std::string cls;
+      if (member_access) {
+        if (k >= 2 && is_ident(f, k - 2, "this")) cls = fn.cls;
+        else if (fc->second.size() == 1) cls = *fc->second.begin();
+        else continue;
+      } else {
+        cls = fn.cls;
+      }
+      if (cls.empty()) continue;
+      const IndexedField* fld = ix.field(cls, name);
+      if (!fld || fld->guarded_by.empty()) continue;
+      const std::string& mu = fld->guarded_by;
+      const bool held_somewhere =
+          std::find(fn.locks_held.begin(), fn.locks_held.end(), mu) != fn.locks_held.end();
+      if (!held_somewhere) continue;  // guarded-by's finding, not ours
+      accesses.push_back({k, cls, name, mu});
+    }
+    if (accesses.empty()) continue;
+
+    const Cfg cfg = build_cfg(f, fn.body_begin, fn.body_end);
+    const std::vector<GuardDecl> guards = guard_decls(f, fn.body_begin, fn.body_end);
+
+    LockState entry;
+    for (const std::string& mu : fn.requires_locks) entry[mu] = fn.body_end;
+
+    const auto transfer = [&](int b, const LockState& in) {
+      LockState st = in;
+      for (const CfgStmt& stmt : cfg.blocks[static_cast<std::size_t>(b)].stmts) {
+        expire_scopes(stmt.begin, st);
+        lockset_events(f, stmt.begin, stmt.end, guards, fn.body_end, st);
+      }
+      return st;
+    };
+    const auto in_states = solve_forward(cfg, entry, transfer, lockset_join);
+
+    for (const Access& a : accesses) {
+      const StmtPos pos = locate(cfg, a.k);
+      if (pos.block < 0) continue;
+      const auto& in = in_states[static_cast<std::size_t>(pos.block)];
+      if (!in) continue;  // unreachable (dead code after a terminator)
+      LockState st = *in;
+      const auto& stmts = cfg.blocks[static_cast<std::size_t>(pos.block)].stmts;
+      for (std::size_t si = 0; si < pos.stmt; ++si) {
+        expire_scopes(stmts[si].begin, st);
+        lockset_events(f, stmts[si].begin, stmts[si].end, guards, fn.body_end, st);
+      }
+      expire_scopes(stmts[pos.stmt].begin, st);
+      lockset_events(f, stmts[pos.stmt].begin, a.k, guards, fn.body_end, st);
+      if (st.count(a.mu)) continue;
+      out.push_back({"lockset", f.path, tok(f, a.k).line,
+                     "'" + a.cls + "::" + a.name + "' is MOSAIQ_GUARDED_BY(" + a.mu +
+                         ") and '" + fn.name + "' does lock " + a.mu +
+                         ", but not on every path to this access (early unlock or "
+                         "conditional acquisition)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rng-stream-balance
+
+bool is_align_name(const std::string& name) {
+  const std::string l = lower(name);
+  return l.find("align") != std::string::npos || l.find("discard") != std::string::npos ||
+         l.find("realign") != std::string::npos;
+}
+
+/// Argument ranges [open, close] of alignment-helper calls in [b, e):
+/// draws inside them are deliberate stream repairs, not divergence.
+std::vector<std::pair<std::size_t, std::size_t>> align_ranges(const SourceFile& f,
+                                                              std::size_t b, std::size_t e) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t k = b; k < e; ++k) {
+    if (!is_ident(f, k) || !is_align_name(tok(f, k).text)) continue;
+    if (!is_punct(f, k + 1, "(")) continue;
+    const std::size_t c = match_forward(f, k + 1);
+    out.emplace_back(k + 1, std::min(c, e));
+  }
+  return out;
+}
+
+/// Number of engine draws in [b, e): an rng-named identifier consumed
+/// as a call argument (`dist(rng)`, `uniform_(rng_)`) or invoked
+/// directly (`rng_()`), excluding alignment-helper arguments.
+std::size_t draws_in(const SourceFile& f, std::size_t b, std::size_t e) {
+  const auto aligned = align_ranges(f, b, e);
+  std::size_t n = 0;
+  for (std::size_t k = b; k < e; ++k) {
+    if (!is_ident(f, k)) continue;
+    const std::string l = lower(tok(f, k).text);
+    if (l.find("rng") == std::string::npos || is_align_name(l)) continue;
+    const bool as_arg = k >= 1 && (is_punct(f, k - 1, "(") || is_punct(f, k - 1, ","));
+    const bool invoked = is_punct(f, k + 1, "(");
+    if (!as_arg && !invoked) continue;
+    bool repaired = false;
+    for (const auto& [ab, ae] : aligned) {
+      if (k > ab && k < ae) {
+        repaired = true;
+        break;
+      }
+    }
+    if (!repaired) ++n;
+  }
+  return n;
+}
+
+bool has_align_call(const SourceFile& f, std::size_t b, std::size_t e) {
+  return !align_ranges(f, b, e).empty();
+}
+
+/// True when [b, e) ends the function on every path through its own
+/// top level: a depth-0 `return` or `throw`.
+bool arm_terminates(const SourceFile& f, std::size_t b, std::size_t e) {
+  std::size_t k = b;
+  std::size_t stop = e;
+  if (k < e && is_punct(f, k, "{")) {
+    stop = std::min(match_forward(f, k), e);
+    ++k;
+  }
+  while (k < stop) {
+    if (is_ident(f, k, "return") || is_ident(f, k, "throw")) return true;
+    if (is_punct(f, k, "(") || is_punct(f, k, "[") || is_punct(f, k, "{")) {
+      const std::size_t c = match_forward(f, k);
+      k = (c >= stop ? stop : c + 1);
+      continue;
+    }
+    ++k;
+  }
+  return false;
+}
+
+/// Scans [b, e) for if statements with unbalanced draws.
+void scan_rng_branches(const SourceFile& f, std::size_t b, std::size_t e,
+                       std::vector<Finding>& out) {
+  for (std::size_t k = b; k < e; ++k) {
+    if (!is_ident(f, k, "if")) continue;
+    std::size_t j = k + 1;
+    if (is_ident(f, j, "constexpr")) ++j;
+    if (!is_punct(f, j, "(")) continue;
+    const std::size_t c = match_forward(f, j);
+    if (c >= e) continue;
+    const std::size_t then_b = c + 1;
+    const std::size_t then_e = std::min(stmt_extent(f, then_b, e), e);
+    std::size_t sib_b = 0, sib_e = 0;
+    bool sibling_is_remainder = false;
+    if (then_e < e && is_ident(f, then_e, "else")) {
+      sib_b = then_e + 1;
+      sib_e = std::min(stmt_extent(f, sib_b, e), e);
+    } else if (arm_terminates(f, then_b, then_e)) {
+      // `if (cond) return;` against the code the return skips.
+      sib_b = then_e;
+      sib_e = e;
+      sibling_is_remainder = true;
+    } else {
+      sib_b = sib_e = then_e;  // empty implicit else
+    }
+    const std::size_t d_then = draws_in(f, then_b, then_e);
+    const std::size_t d_sib = draws_in(f, sib_b, sib_e);
+    const bool then_aligned = has_align_call(f, then_b, then_e);
+    const bool sib_aligned = has_align_call(f, sib_b, sib_e);
+    const bool unbalanced = (d_then > 0 && d_sib == 0 && !sib_aligned) ||
+                            (d_sib > 0 && d_then == 0 && !then_aligned);
+    if (!unbalanced) continue;
+    const std::size_t draws = std::max(d_then, d_sib);
+    out.push_back(
+        {"rng-stream-balance", f.path, tok(f, k).line,
+         "one path of this 'if' consumes " + std::to_string(draws) +
+             " draw(s) from a seeded engine and the " +
+             (sibling_is_remainder ? std::string("path it returns past")
+                                   : std::string("sibling arm")) +
+             " consumes none: seeded streams desynchronize across configurations; "
+             "route the silent path through an align_rng()/discard() helper"});
+  }
+}
+
+void check_rng_balance(const Sema& s, const CrossIndex&, std::vector<Finding>& out) {
+  const SourceFile& f = *s.file;
+  if (!path_in(f.path, {"net/", "sim/", "core/"})) return;
+  for (const SemaFunction& fn : s.functions) {
+    if (fn.body_begin >= fn.body_end) continue;
+    if (draws_in(f, fn.body_begin, fn.body_end) == 0 &&
+        !has_align_call(f, fn.body_begin, fn.body_end))
+      continue;
+    scan_rng_branches(f, fn.body_begin, fn.body_end, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// energy-ledger
+
+/// Spend primitive at code index k: `.spend(` / `.wait_seconds(` method
+/// calls or the free `charge_protocol_tx/rx(`.
+bool is_spend_site(const SourceFile& f, std::size_t k) {
+  if (!is_ident(f, k) || !is_punct(f, k + 1, "(")) return false;
+  const std::string& name = tok(f, k).text;
+  if (name == "charge_protocol_tx" || name == "charge_protocol_rx") return true;
+  if (name != "spend" && name != "wait_seconds") return false;
+  return k >= 1 && (is_punct(f, k - 1, ".") || is_punct(f, k - 1, "->"));
+}
+
+/// Identifier that names a ledger counter: unit-suffixed (_j/_s, with
+/// or without a member underscore) or a recognized accounting word.
+bool is_ledger_name(const std::string& name) {
+  std::string l = lower(name);
+  while (!l.empty() && l.back() == '_') l.pop_back();
+  if (l.size() >= 2 && l.compare(l.size() - 2, 2, "_j") == 0) return true;
+  if (l.size() >= 2 && l.compare(l.size() - 2, 2, "_s") == 0) return true;
+  for (const char* w : {"seconds", "joules", "busy", "cycles", "energy"}) {
+    if (l.find(w) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Record event in [b, e): a span/counter emit call, an accumulation
+/// into a ledger-named counter, or a `return` of a measured value.
+bool records_in(const SourceFile& f, std::size_t b, std::size_t e) {
+  static const std::set<std::string> kAssign = {"=", "+=", "-="};
+  for (std::size_t k = b; k < e; ++k) {
+    if (is_ident(f, k) && is_punct(f, k + 1, "(")) {
+      const std::string l = lower(tok(f, k).text);
+      for (const char* w : {"emit", "phase", "settle", "counter", "snapshot", "record"}) {
+        if (l.find(w) != std::string::npos) return true;
+      }
+    }
+    if (k >= 1 && tok(f, k).kind == TokKind::Punct && kAssign.count(tok(f, k).text) &&
+        is_ident(f, k - 1) && is_ledger_name(tok(f, k - 1).text))
+      return true;
+    if (is_ident(f, k, "return")) {
+      for (std::size_t j = k + 1; j < e; ++j) {
+        if (is_punct(f, j, ";")) break;
+        if (is_ident(f, j) && is_ledger_name(tok(f, j).text)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Analyzes one unit (function or lambda body): every spend site must
+/// record on all paths to exit.  `skip` tells which code indices belong
+/// to nested units analyzed separately.
+template <typename Skip>
+void check_unit_ledger(const SourceFile& f, const std::string& unit_name, std::size_t begin,
+                       std::size_t end, Skip&& skip, std::vector<Finding>& out) {
+  std::vector<std::size_t> spends;
+  for (std::size_t k = begin; k < end; ++k) {
+    if (is_spend_site(f, k) && !skip(k)) spends.push_back(k);
+  }
+  if (spends.empty()) return;
+
+  const Cfg cfg = build_cfg(f, begin, end);
+  const auto record = [&](const CfgStmt& st) { return records_in(f, st.begin, st.end); };
+  for (const std::size_t k : spends) {
+    const StmtPos pos = locate(cfg, k);
+    if (pos.block < 0) continue;
+    // The spend's own statement may already record (`wall_s_ += cost()`
+    // patterns); check the tokens after the call before walking paths.
+    const CfgStmt& own = cfg.blocks[static_cast<std::size_t>(pos.block)].stmts[pos.stmt];
+    if (records_in(f, own.begin, own.end)) continue;
+    if (!exists_path_avoiding(cfg, pos.block, pos.stmt, record)) continue;
+    out.push_back({"energy-ledger", f.path, tok(f, k).line,
+                   "'" + tok(f, k).text + "' spends energy/time here but some path "
+                       "through '" + unit_name + "' reaches the end of the function "
+                       "without a _j/_s accumulation or span record "
+                       "(spend-without-record)"});
+  }
+}
+
+void check_energy_ledger(const Sema& s, const CrossIndex&, std::vector<Finding>& out) {
+  const SourceFile& f = *s.file;
+  if (!path_in(f.path, {"core/"})) return;
+  for (const SemaFunction& fn : s.functions) {
+    if (fn.body_begin >= fn.body_end) continue;
+    check_unit_ledger(
+        f, fn.name, fn.body_begin, fn.body_end,
+        [&](std::size_t k) { return s.lambda_containing(k) >= 0; }, out);
+  }
+  for (std::size_t li = 0; li < s.lambdas.size(); ++li) {
+    const SemaLambda& lam = s.lambdas[li];
+    if (lam.body_begin >= lam.body_end) continue;
+    const std::string name =
+        lam.enclosing_function >= 0
+            ? "lambda in " + s.functions[static_cast<std::size_t>(lam.enclosing_function)].name
+            : "lambda";
+    check_unit_ledger(
+        f, name, lam.body_begin, lam.body_end,
+        [&](std::size_t k) { return s.lambda_containing(k) != static_cast<int>(li); }, out);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void add_cfg_rules(std::vector<Rule>& out) {
+  out.push_back({"lockset",
+                 "guarded fields must be touched with their mutex held on every path "
+                 "(early unlock and conditional acquisition are path bugs)",
+                 nullptr, check_lockset});
+  out.push_back({"rng-stream-balance",
+                 "branches in net|sim|core must consume seeded-engine draws evenly or "
+                 "realign through an align_rng()/discard() helper",
+                 nullptr, check_rng_balance});
+  out.push_back({"energy-ledger",
+                 "every spend primitive in core must reach a _j/_s accumulation or span "
+                 "record on all paths before function exit",
+                 nullptr, check_energy_ledger});
+}
+
+}  // namespace detail
+
+}  // namespace mosaiq::lint

@@ -1,0 +1,60 @@
+#include "lint/dataflow.hpp"
+
+#include <algorithm>
+
+namespace mosaiq::lint {
+
+LockState lockset_join(const LockState& a, const LockState& b) {
+  LockState out;
+  for (const auto& [mu, scope_end] : a) {
+    const auto it = b.find(mu);
+    if (it != b.end()) out[mu] = std::min(scope_end, it->second);
+  }
+  return out;
+}
+
+bool exists_path_avoiding(const Cfg& cfg, int block, std::size_t stmt_index,
+                          const std::function<bool(const CfgStmt&)>& record) {
+  const auto blocks = cfg.blocks.size();
+  const auto start = static_cast<std::size_t>(block);
+  if (start >= blocks) return false;
+
+  // The triggering block: a record in a *later* statement of the same
+  // block covers this path prefix.
+  const auto& stmts = cfg.blocks[start].stmts;
+  for (std::size_t i = stmt_index + 1; i < stmts.size(); ++i) {
+    if (record(stmts[i])) return false;
+  }
+
+  // Blocks whose statements all avoid `record` are transparent; a path
+  // through any other block is covered.
+  std::vector<char> transparent(blocks, 0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    transparent[b] = 1;
+    for (const CfgStmt& st : cfg.blocks[b].stmts) {
+      if (record(st)) {
+        transparent[b] = 0;
+        break;
+      }
+    }
+  }
+
+  if (block == cfg.exit) return true;
+  std::vector<char> seen(blocks, 0);
+  std::vector<int> stack{block};
+  seen[start] = 1;
+  while (!stack.empty()) {
+    const auto b = static_cast<std::size_t>(stack.back());
+    stack.pop_back();
+    for (const int si : cfg.blocks[b].succs) {
+      if (si == cfg.exit) return true;
+      const auto s = static_cast<std::size_t>(si);
+      if (seen[s] || !transparent[s]) continue;
+      seen[s] = 1;
+      stack.push_back(si);
+    }
+  }
+  return false;
+}
+
+}  // namespace mosaiq::lint

@@ -1,0 +1,87 @@
+// Generic forward-dataflow worklist engine over the lint CFG.
+//
+// solve_forward() is the classic iterative fixpoint: block in-states
+// start unknown (std::nullopt = "never reached"), the entry block gets
+// the caller's boundary state, and out-states propagate along edges
+// through a user join until nothing changes.  With an intersection
+// join this is a must-analysis (the lockset rule: a mutex is held at a
+// point only when it is held on *every* path there); with a union join
+// a may-analysis.  Blocks the solver never visits are unreachable —
+// callers skip them.
+//
+// dataflow.cpp adds the two concrete instantiations the v3 rules
+// share: LockState (held mutexes with their RAII scope extents) and a
+// statement-level reachability query (does some path from a statement
+// reach the exit without passing a statement the caller accepts?).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/cfg.hpp"
+
+namespace mosaiq::lint {
+
+template <typename State, typename Transfer, typename Join>
+std::vector<std::optional<State>> solve_forward(const Cfg& cfg, State entry_state,
+                                                Transfer&& transfer, Join&& join) {
+  std::vector<std::optional<State>> in(cfg.blocks.size());
+  std::vector<std::optional<State>> out(cfg.blocks.size());
+  std::vector<char> queued(cfg.blocks.size(), 0);
+  std::deque<int> work;
+  in[static_cast<std::size_t>(cfg.entry)] = std::move(entry_state);
+  work.push_back(cfg.entry);
+  queued[static_cast<std::size_t>(cfg.entry)] = 1;
+
+  // Monotone frameworks converge in O(blocks * lattice height); the cap
+  // is a never-hang backstop for pathological inputs, after which the
+  // partial solution is still a sound over/under-approximation to read.
+  std::size_t budget = 64 * (cfg.blocks.size() + 1) * (cfg.blocks.size() + 1);
+  while (!work.empty() && budget-- > 0) {
+    const auto b = static_cast<std::size_t>(work.front());
+    work.pop_front();
+    queued[b] = 0;
+    State next = transfer(static_cast<int>(b), *in[b]);
+    if (out[b] && *out[b] == next) continue;
+    out[b] = std::move(next);
+    for (const int si : cfg.blocks[b].succs) {
+      const auto s = static_cast<std::size_t>(si);
+      std::optional<State> merged =
+          in[s] ? std::optional<State>(join(*in[s], *out[b])) : out[b];
+      if (!in[s] || !(*in[s] == *merged)) {
+        in[s] = std::move(merged);
+        if (!queued[s]) {
+          work.push_back(si);
+          queued[s] = 1;
+        }
+      }
+    }
+  }
+  return in;
+}
+
+/// Held mutexes: terminal mutex name -> code index where the holding
+/// scope ends (the enclosing '}' of a RAII guard, or the body end for
+/// explicit .lock() / MOSAIQ_REQUIRES holds).  The map form makes the
+/// intersection join drop a mutex unless every path holds it.
+using LockState = std::map<std::string, std::size_t>;
+
+/// Must-join: mutexes held on both paths, with the nearer scope end.
+LockState lockset_join(const LockState& a, const LockState& b);
+
+/// Does some path from statement `stmt_index` of `block` reach
+/// cfg.exit such that no later statement satisfies `record`?  The
+/// remaining statements of `block` after `stmt_index` are checked
+/// first; from there it is a DFS over blocks that contain no
+/// record-statement at all.  This is the energy-ledger core: a
+/// spend-site with such a path escapes the function unrecorded.
+bool exists_path_avoiding(const Cfg& cfg, int block, std::size_t stmt_index,
+                          const std::function<bool(const CfgStmt&)>& record);
+
+}  // namespace mosaiq::lint

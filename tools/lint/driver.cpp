@@ -1,44 +1,102 @@
 #include "lint/driver.hpp"
 
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "lint/cache.hpp"
 #include "lint/index.hpp"
 #include "lint/sema.hpp"
 
 namespace mosaiq::lint {
 
+namespace {
+
+/// Runs job(i) for i in [0, n) on `threads` workers pulling from an
+/// atomic counter.  Results land in per-index slots in the caller, so
+/// output order is independent of scheduling.  The first exception is
+/// rethrown on the calling thread.
+template <typename Job>
+void for_each_index(std::size_t n, std::size_t threads, Job&& job) {
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  const std::size_t workers = std::min(threads, n);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          job(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
 std::vector<Finding> run_driver(const std::vector<std::string>& files,
                                 const DriverOptions& opt, DriverStats* stats) {
-  std::vector<SourceFile> sources;
-  sources.reserve(files.size());
-  for (const std::string& p : files) sources.push_back(analyze_file(p));
+  const std::size_t threads = opt.threads == 0 ? 1 : opt.threads;
+  registry();  // materialize the registry before workers race to read it
 
-  std::vector<Sema> tus;
-  tus.reserve(sources.size());
-  for (const SourceFile& f : sources) tus.push_back(build_sema(f));
+  // Phase 1 (parallel): lex + per-TU symbol model, per-index slots.
+  std::vector<SourceFile> sources(files.size());
+  std::vector<Sema> tus(files.size());
+  for_each_index(files.size(), threads, [&](std::size_t i) {
+    sources[i] = analyze_file(files[i]);
+    tus[i] = build_sema(sources[i]);
+  });
 
+  // Phase 2 (serial): the cross-file index folds every TU.
   const CrossIndex index = build_index(tus);
 
   ResultCache cache;
   if (!opt.cache_path.empty()) cache.load(opt.cache_path);
 
   DriverStats local;
-  std::vector<Finding> out;
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    ++local.files;
-    const std::uint64_t key =
-        opt.cache_path.empty() ? 0 : cache_key(sources[i], opt.rules, index.digest);
+  local.files = files.size();
+
+  // Phase 3 (parallel): rules per file into per-index slots; cache
+  // lookups are reads of the loaded map, stores are buffered per slot.
+  std::vector<std::vector<Finding>> results(files.size());
+  std::vector<std::uint64_t> keys(files.size(), 0);
+  std::vector<char> hit(files.size(), 0);
+  for_each_index(files.size(), threads, [&](std::size_t i) {
+    keys[i] = opt.cache_path.empty() ? 0 : cache_key(sources[i], opt.rules, index.digest);
     if (!opt.cache_path.empty()) {
-      if (const std::vector<Finding>* hit = cache.lookup(key)) {
-        ++local.cache_hits;
-        out.insert(out.end(), hit->begin(), hit->end());
-        continue;
+      if (const std::vector<Finding>* cached = cache.lookup(keys[i])) {
+        hit[i] = 1;
+        results[i] = *cached;
+        return;
       }
-      ++local.cache_misses;
     }
-    std::vector<Finding> file_findings;
-    run_rules(sources[i], tus[i], index, opt.rules, file_findings);
-    out.insert(out.end(), file_findings.begin(), file_findings.end());
-    if (!opt.cache_path.empty()) cache.store(key, std::move(file_findings));
+    run_rules(sources[i], tus[i], index, opt.rules, results[i]);
+  });
+
+  std::vector<Finding> out;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (hit[i]) ++local.cache_hits;
+    else if (!opt.cache_path.empty()) ++local.cache_misses;
+    out.insert(out.end(), results[i].begin(), results[i].end());
+    if (!opt.cache_path.empty() && !hit[i]) cache.store(keys[i], std::move(results[i]));
   }
   if (!opt.cache_path.empty()) cache.save(opt.cache_path);
   if (stats) *stats = local;

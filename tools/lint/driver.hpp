@@ -18,6 +18,10 @@ namespace mosaiq::lint {
 struct DriverOptions {
   std::vector<std::string> rules;  ///< empty = all registered rules
   std::string cache_path;          ///< "" = no caching
+  /// Worker threads for the analyze and rule phases (0/1 = serial).
+  /// Findings order and cache contents are identical at any count:
+  /// work lands in per-file slots merged in input order.
+  std::size_t threads = 1;
 };
 
 struct DriverStats {

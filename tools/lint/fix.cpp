@@ -1,0 +1,73 @@
+#include "lint/fix.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace mosaiq::lint {
+
+std::string apply_edits(const std::string& text, std::vector<TextEdit> edits,
+                        std::size_t* applied) {
+  std::sort(edits.begin(), edits.end(), [](const TextEdit& a, const TextEdit& b) {
+    return std::tie(a.begin, a.end, a.text) < std::tie(b.begin, b.end, b.text);
+  });
+  edits.erase(std::unique(edits.begin(), edits.end(),
+                          [](const TextEdit& a, const TextEdit& b) {
+                            return a.begin == b.begin && a.end == b.end && a.text == b.text;
+                          }),
+              edits.end());
+
+  // Keep a non-overlapping subset (first wins in sorted order); two
+  // pure insertions at the same offset both survive and land in
+  // ascending text order.
+  std::vector<TextEdit> kept;
+  for (const TextEdit& e : edits) {
+    if (e.begin > e.end || e.end > text.size()) continue;
+    if (!kept.empty()) {
+      const TextEdit& p = kept.back();
+      const bool both_insertions = p.begin == p.end && e.begin == e.end;
+      if (e.begin < p.end || (e.begin == p.begin && !both_insertions)) continue;
+    }
+    kept.push_back(e);
+  }
+
+  std::string out = text;
+  for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
+    out.replace(it->begin, it->end - it->begin, it->text);
+  }
+  if (applied) *applied = kept.size();
+  return out;
+}
+
+FixStats apply_fixes(const std::vector<Finding>& findings) {
+  FixStats stats;
+  std::map<std::string, std::vector<TextEdit>> by_file;
+  for (const Finding& f : findings) {
+    if (f.fixes.empty()) continue;
+    ++stats.findings_fixed;
+    auto& edits = by_file[f.file];
+    edits.insert(edits.end(), f.fixes.begin(), f.fixes.end());
+  }
+  for (auto& [path, edits] : by_file) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("mosaiq-lint: cannot reopen for --fix: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::size_t applied = 0;
+    const std::string fixed = apply_edits(text, std::move(edits), &applied);
+    if (fixed == text) continue;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("mosaiq-lint: cannot write for --fix: " + path);
+    out << fixed;
+    if (!out) throw std::runtime_error("mosaiq-lint: short write for --fix: " + path);
+    ++stats.files_changed;
+    stats.edits_applied += applied;
+  }
+  return stats;
+}
+
+}  // namespace mosaiq::lint

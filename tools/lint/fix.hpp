@@ -1,0 +1,40 @@
+// Fix-it application for mosaiq-lint (--fix).
+//
+// Findings carry TextEdits (byte ranges against the file as analyzed).
+// apply_edits() merges one file's edits deterministically: exact
+// duplicates collapse (two accesses proposing the same MOSAIQ_REQUIRES
+// insertion), overlapping edits keep the first after ordering, and
+// application runs back-to-front so earlier offsets stay valid.
+// apply_fixes() groups findings by file, rewrites each file once, and
+// reports what changed; re-linting the result must converge
+// (gated by the lint_fix_idempotent ctest).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace mosaiq::lint {
+
+/// Applies edits to `text` and returns the rewritten text.  Edits are
+/// de-duplicated and sorted (by begin, then end, then replacement text)
+/// before back-to-front application; an edit overlapping an
+/// already-kept one, or out of range, is dropped.  When `applied` is
+/// non-null it receives the number of edits actually applied.
+std::string apply_edits(const std::string& text, std::vector<TextEdit> edits,
+                        std::size_t* applied = nullptr);
+
+struct FixStats {
+  std::size_t files_changed = 0;
+  std::size_t edits_applied = 0;
+  std::size_t findings_fixed = 0;  ///< findings that carried >=1 edit
+};
+
+/// Applies every finding's fixes to the files on disk (grouped per
+/// file, one rewrite each).  Returns what changed; throws
+/// std::runtime_error when a file cannot be read back or written.
+FixStats apply_fixes(const std::vector<Finding>& findings);
+
+}  // namespace mosaiq::lint

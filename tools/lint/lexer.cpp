@@ -53,7 +53,7 @@ std::vector<Token> lex(std::string_view src) {
         if (src[j] == '\n' && (j == 0 || src[j - 1] != '\\')) break;
         ++j;
       }
-      out.push_back({TokKind::Preproc, std::string(src.substr(i, j - i)), tok_line});
+      out.push_back({TokKind::Preproc, std::string(src.substr(i, j - i)), tok_line, i});
       advance(j - i);
       continue;
     }
@@ -63,7 +63,7 @@ std::vector<Token> lex(std::string_view src) {
     if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
       std::size_t j = src.find('\n', i);
       if (j == std::string_view::npos) j = src.size();
-      out.push_back({TokKind::Comment, std::string(src.substr(i + 2, j - i - 2)), tok_line});
+      out.push_back({TokKind::Comment, std::string(src.substr(i + 2, j - i - 2)), tok_line, i});
       advance(j - i);
       continue;
     }
@@ -71,7 +71,7 @@ std::vector<Token> lex(std::string_view src) {
       std::size_t j = src.find("*/", i + 2);
       const std::size_t end = (j == std::string_view::npos) ? src.size() : j + 2;
       const std::size_t body_end = (j == std::string_view::npos) ? src.size() : j;
-      out.push_back({TokKind::Comment, std::string(src.substr(i + 2, body_end - i - 2)), tok_line});
+      out.push_back({TokKind::Comment, std::string(src.substr(i + 2, body_end - i - 2)), tok_line, i});
       advance(end - i);
       continue;
     }
@@ -86,7 +86,7 @@ std::vector<Token> lex(std::string_view src) {
       const std::size_t body_end = (j == std::string_view::npos) ? src.size() : j;
       out.push_back({TokKind::String,
                      d < src.size() ? std::string(src.substr(d + 1, body_end - d - 1)) : "",
-                     tok_line});
+                     tok_line, i});
       advance(end - i);
       continue;
     }
@@ -100,7 +100,7 @@ std::vector<Token> lex(std::string_view src) {
       }
       const std::size_t end = (j < src.size()) ? j + 1 : src.size();
       out.push_back({c == '"' ? TokKind::String : TokKind::CharLit,
-                     std::string(src.substr(i + 1, j - i - 1)), tok_line});
+                     std::string(src.substr(i + 1, j - i - 1)), tok_line, i});
       advance(end - i);
       continue;
     }
@@ -108,7 +108,7 @@ std::vector<Token> lex(std::string_view src) {
     if (ident_start(c)) {
       std::size_t j = i;
       while (j < src.size() && ident_char(src[j])) ++j;
-      out.push_back({TokKind::Identifier, std::string(src.substr(i, j - i)), tok_line});
+      out.push_back({TokKind::Identifier, std::string(src.substr(i, j - i)), tok_line, i});
       advance(j - i);
       continue;
     }
@@ -124,7 +124,7 @@ std::vector<Token> lex(std::string_view src) {
                 src[j - 1] == 'P')))) {
         ++j;
       }
-      out.push_back({TokKind::Number, std::string(src.substr(i, j - i)), tok_line});
+      out.push_back({TokKind::Number, std::string(src.substr(i, j - i)), tok_line, i});
       advance(j - i);
       continue;
     }
@@ -138,7 +138,7 @@ std::vector<Token> lex(std::string_view src) {
         break;
       }
     }
-    out.push_back({TokKind::Punct, std::string(rest.substr(0, len)), tok_line});
+    out.push_back({TokKind::Punct, std::string(rest.substr(0, len)), tok_line, i});
     advance(len);
   }
   return out;

@@ -164,6 +164,7 @@ const std::vector<Rule>& registry() {
     std::vector<Rule> r;
     detail::add_token_rules(r);
     detail::add_sema_rules(r);
+    detail::add_cfg_rules(r);
     return r;
   }();
   return rules;
@@ -263,7 +264,23 @@ std::string format_sarif(const std::vector<Finding>& findings) {
     out += "\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"";
     json_escape(f.file, out);
     out += "\"},\"region\":{\"startLine\":" + std::to_string(f.line == 0 ? 1 : f.line) +
-           "}}}]}";
+           "}}}]";
+    if (!f.fixes.empty()) {
+      out += ",\"fixes\":[{\"artifactChanges\":[{\"artifactLocation\":{\"uri\":\"";
+      json_escape(f.file, out);
+      out += "\"},\"replacements\":[";
+      for (std::size_t e = 0; e < f.fixes.size(); ++e) {
+        const TextEdit& ed = f.fixes[e];
+        if (e) out += ",";
+        out += "{\"deletedRegion\":{\"charOffset\":" + std::to_string(ed.begin) +
+               ",\"charLength\":" + std::to_string(ed.end - ed.begin) +
+               "},\"insertedContent\":{\"text\":\"";
+        json_escape(ed.text, out);
+        out += "\"}}";
+      }
+      out += "]}]}]";
+    }
+    out += "}";
   }
   out += findings.empty() ? "]}]}\n" : "\n  ]}]}\n";
   return out;

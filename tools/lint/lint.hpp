@@ -25,11 +25,23 @@ namespace mosaiq::lint {
 struct Sema;        // sema.hpp
 struct CrossIndex;  // index.hpp
 
+/// One machine-applicable text edit: replace the byte range
+/// [begin, end) of the finding's file with `text` (begin == end for a
+/// pure insertion).  Offsets index the file bytes as analyzed.
+struct TextEdit {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::string text;
+};
+
 struct Finding {
   std::string rule;
   std::string file;
   std::size_t line = 0;
   std::string message;
+  /// Machine-applicable repair (empty when the rule has none); applied
+  /// by `mosaiq-lint --fix` (fix.hpp), carried into the SARIF output.
+  std::vector<TextEdit> fixes;
 };
 
 /// One source file, lexed and indexed for the rules.
@@ -70,9 +82,11 @@ const std::vector<Rule>& registry();
 
 namespace detail {
 /// Internal rule providers; registry() assembles them (token rules
-/// first, then the flow-aware v2 families).
+/// first, then the flow-aware v2 families, then the path-sensitive v3
+/// families built on cfg.hpp/dataflow.hpp).
 void add_token_rules(std::vector<Rule>& out);
 void add_sema_rules(std::vector<Rule>& out);
+void add_cfg_rules(std::vector<Rule>& out);
 }  // namespace detail
 
 /// Runs `rules` (all registered rules when empty) over the file and

@@ -2,14 +2,20 @@
 //
 //   mosaiq-lint [--json|--sarif] [--rules a,b] [--list-rules]
 //               [--baseline FILE] [--write-baseline FILE]
-//               [--cache FILE] [--stats] <file|dir>...
+//               [--cache FILE] [--stats] [--fix] [--threads N]
+//               <file|dir>...
 //
 // All named files are analyzed as one program: annotations and symbol
 // tables from headers inform findings in the .cpp files that use them.
+// --fix applies each finding's machine repair in place; --threads N
+// parallelizes the analyze and rule phases with identical output.
 //
 // Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+// Under --fix, exit 0 also covers "every finding carried a fix and all
+// were applied"; unfixable findings still exit 1.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -18,6 +24,7 @@
 #include <vector>
 
 #include "lint/driver.hpp"
+#include "lint/fix.hpp"
 #include "lint/lint.hpp"
 
 namespace {
@@ -26,8 +33,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: mosaiq-lint [--json|--sarif] [--rules a,b] [--list-rules]\n"
                "                   [--baseline FILE] [--write-baseline FILE]\n"
-               "                   [--cache FILE] [--stats] <file|dir>...\n"
-               "exit codes: 0 clean, 1 findings, 2 usage/io error\n");
+               "                   [--cache FILE] [--stats] [--fix] [--threads N]\n"
+               "                   <file|dir>...\n"
+               "exit codes: 0 clean (or --fix fixed everything), 1 findings,\n"
+               "            2 usage/io error\n");
   return 2;
 }
 
@@ -52,6 +61,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string write_baseline_path;
   bool stats_wanted = false;
+  bool fix_wanted = false;
   std::vector<std::string> paths;
 
   auto take_value = [&](int& i) -> const char* {
@@ -82,6 +92,15 @@ int main(int argc, char** argv) {
       opt.cache_path = v;
     } else if (arg == "--stats") {
       stats_wanted = true;
+    } else if (arg == "--fix") {
+      fix_wanted = true;
+    } else if (arg == "--threads") {
+      const char* v = take_value(i);
+      if (!v) return usage();
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v, &end, 10);
+      if (!end || *end != '\0' || n == 0 || n > 256) return usage();
+      opt.threads = static_cast<std::size_t>(n);
     } else if (arg == "--list-rules") {
       for (const Rule& r : registry())
         std::printf("%-18s %s\n", r.name.c_str(), r.description.c_str());
@@ -138,6 +157,28 @@ int main(int argc, char** argv) {
     std::ostringstream ss;
     ss << in.rdbuf();
     suppressed = apply_baseline(parse_baseline(ss.str()), findings);
+  }
+
+  if (fix_wanted) {
+    FixStats fs;
+    try {
+      fs = apply_fixes(findings);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mosaiq-lint: %s\n", e.what());
+      return 2;
+    }
+    const std::size_t unfixed = findings.size() - fs.findings_fixed;
+    std::fprintf(stderr,
+                 "mosaiq-lint: --fix applied %zu edit(s) for %zu finding(s) in %zu "
+                 "file(s); %zu finding(s) have no machine fix\n",
+                 fs.edits_applied, fs.findings_fixed, fs.files_changed, unfixed);
+    if (unfixed > 0) {
+      std::vector<Finding> remaining;
+      for (const Finding& fd : findings)
+        if (fd.fixes.empty()) remaining.push_back(fd);
+      std::cout << format_human(remaining);
+    }
+    return unfixed == 0 ? 0 : 1;
   }
 
   switch (format) {

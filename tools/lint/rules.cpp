@@ -144,11 +144,34 @@ const std::set<std::string>& bare_std_names() {
   return s;
 }
 
+/// Byte offset where a new `#include <...>` line can be inserted: just
+/// past the last existing angle-include line, else past `#pragma once`,
+/// else the top of the file.
+std::size_t include_insert_offset(const SourceFile& f) {
+  const Token* anchor = nullptr;
+  for (const Token& t : f.tokens) {
+    if (t.kind != TokKind::Preproc) continue;
+    if (t.text.rfind("#include", 0) == 0 && t.text.find('<') != std::string::npos)
+      anchor = &t;
+  }
+  if (!anchor) {
+    for (const Token& t : f.tokens) {
+      if (t.kind == TokKind::Preproc && t.text.rfind("#pragma once", 0) == 0) {
+        anchor = &t;
+        break;
+      }
+    }
+  }
+  if (!anchor) return 0;
+  return std::min(anchor->offset + anchor->text.size() + 1, f.text.size());
+}
+
 void check_include_hygiene(const SourceFile& f, std::vector<Finding>& out) {
   if (!f.is_header()) return;  // .cpp self-containment comes via its own build
   const auto& providers = symbol_providers();
   const std::set<std::string> have(f.angle_includes.begin(), f.angle_includes.end());
   std::set<std::string> reported;
+  const std::size_t insert_at = include_insert_offset(f);
 
   for (std::size_t k = 0; k < f.code.size(); ++k) {
     if (!is_ident(f, k)) continue;
@@ -168,10 +191,12 @@ void check_include_hygiene(const SourceFile& f, std::vector<Finding>& out) {
     const bool satisfied = std::any_of(it->second.begin(), it->second.end(),
                                        [&](const std::string& h) { return have.count(h); });
     if (satisfied || !reported.insert(name).second) continue;
-    out.push_back({"include-hygiene", f.path, tok(f, k).line,
-                   "uses " + std::string(qualified ? "std::" : "") + name +
-                       " without a direct #include <" + it->second.front() +
-                       "> (header must be self-contained)"});
+    Finding fd{"include-hygiene", f.path, tok(f, k).line,
+               "uses " + std::string(qualified ? "std::" : "") + name +
+                   " without a direct #include <" + it->second.front() +
+                   "> (header must be self-contained)"};
+    fd.fixes.push_back({insert_at, insert_at, "#include <" + it->second.front() + ">\n"});
+    out.push_back(std::move(fd));
   }
 }
 
@@ -508,11 +533,38 @@ void check_unit_suffix(const SourceFile& f, std::vector<Finding>& out) {
     const bool has_unit = std::any_of(parts.begin(), parts.end(),
                                       [&](const std::string& p) { return kUnit.count(p); });
     if (quantity && !has_unit) {
-      out.push_back({"unit-suffix", f.path, tok(f, k + 1).line,
-                     "physical quantity '" + name +
-                         "' carries no unit token (_j/_s/_mbps/_cycles/_bytes, ...): "
-                         "unit-less accounting identifiers are how joules end up added "
-                         "to seconds"});
+      Finding fd{"unit-suffix", f.path, tok(f, k + 1).line,
+                 "physical quantity '" + name +
+                     "' carries no unit token (_j/_s/_mbps/_cycles/_bytes, ...): "
+                     "unit-less accounting identifiers are how joules end up added "
+                     "to seconds"};
+      // Canonical-unit rename where the quantity implies one; rename
+      // every occurrence of the identifier in this file so declaration
+      // and uses stay consistent.
+      static const std::map<std::string, std::string> kCanonical = {
+          {"energy", "_j"},       {"power", "_w"},     {"bandwidth", "_mbps"},
+          {"throughput", "_mbps"}, {"latency", "_s"},  {"duration", "_s"},
+          {"delay", "_s"},        {"charge", "_mah"},  {"voltage", "_v"},
+          {"distance", "_m"}};
+      std::string suffix;
+      for (const std::string& p : parts) {
+        const auto it = kCanonical.find(p);
+        if (it != kCanonical.end()) {
+          suffix = it->second;
+          break;
+        }
+      }
+      if (!suffix.empty()) {
+        // Trailing member underscore stays trailing: wall_ -> wall_j_.
+        const bool member = !name.empty() && name.back() == '_';
+        const std::string base = member ? name.substr(0, name.size() - 1) : name;
+        const std::string renamed = base + suffix + (member ? "_" : "");
+        for (const Token& t : f.tokens) {
+          if (t.kind == TokKind::Identifier && t.text == name)
+            fd.fixes.push_back({t.offset, t.offset + t.text.size(), renamed});
+        }
+      }
+      out.push_back(std::move(fd));
     }
   }
 }

@@ -211,10 +211,21 @@ void check_guarded_by(const Sema& s, const CrossIndex& ix, std::vector<Finding>&
     const std::string& mu = fld->guarded_by;
     if (std::find(fn.locks_held.begin(), fn.locks_held.end(), mu) != fn.locks_held.end())
       continue;
-    out.push_back({"guarded-by", f.path, tok(f, k).line,
-                   "'" + cls + "::" + name + "' is MOSAIQ_GUARDED_BY(" + mu + ") but '" +
-                       fn.name + "' neither locks " + mu + " nor declares MOSAIQ_REQUIRES(" +
-                       mu + ")"});
+    Finding fd{"guarded-by", f.path, tok(f, k).line,
+               "'" + cls + "::" + name + "' is MOSAIQ_GUARDED_BY(" + mu + ") but '" +
+                   fn.name + "' neither locks " + mu + " nor declares MOSAIQ_REQUIRES(" +
+                   mu + ")"};
+    // Fix: declare the caller-must-hold contract on the definition —
+    // insert MOSAIQ_REQUIRES(mu) just before the body's '{'.  (Taking
+    // the lock instead could self-deadlock a caller that already holds
+    // it, so the annotation is the safe machine-applicable repair.)
+    if (fn.body_begin > 0 && fn.body_begin <= f.code.size()) {
+      const Token& brace = f.tokens[f.code[fn.body_begin - 1]];
+      if (brace.kind == TokKind::Punct && brace.text == "{") {
+        fd.fixes.push_back({brace.offset, brace.offset, "MOSAIQ_REQUIRES(" + mu + ") "});
+      }
+    }
+    out.push_back(std::move(fd));
   }
 }
 

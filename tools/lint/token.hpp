@@ -26,7 +26,8 @@ enum class TokKind {
 struct Token {
   TokKind kind;
   std::string text;
-  std::size_t line;  ///< 1-based line of the token's first character
+  std::size_t line;        ///< 1-based line of the token's first character
+  std::size_t offset = 0;  ///< byte offset of the first character in the source
 };
 
 /// Tokenizes `source`.  Unterminated literals/comments are tolerated
