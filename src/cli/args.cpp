@@ -158,4 +158,26 @@ ObsPaths obs_paths_from(const ArgParser& p) {
   return o;
 }
 
+ArgParser& add_fleet_robustness_options(ArgParser& p) {
+  return p
+      .flag("fleet-battery", "give every client a heterogeneous battery that query legs drain")
+      .option("battery-capacity-mah", "nominal pack capacity, mAh", "1000")
+      .option("battery-spread", "per-client capacity jitter, fraction (+/-)", "0.25")
+      .option("battery-min-charge", "lowest initial state of charge, fraction", "0.35")
+      .option("plugged-fraction", "probability a client is on wall power", "0")
+      .option("battery-seed", "battery provisioning RNG seed", "2003")
+      .flag("no-battery-deaths", "track charge but never kill exhausted clients")
+      .option("churn-rate", "scheduled client departures per second (0 = none)", "0")
+      .option("churn-seed", "churn schedule RNG seed", "1")
+      .option("churn-min-uptime", "grace period before any scheduled departure, seconds", "0")
+      .option("replication", "live copies of each work unit (1 = none)", "1")
+      .flag("battery-sched", "bias per-query partitioning by reported battery state")
+      .option("sched-low-charge", "charge at which the scheduler goes fully server-heavy",
+              "0.2")
+      .option("sched-high-charge", "charge at which the scheduler stops protecting the battery",
+              "0.8")
+      .option("sched-horizon", "target client lifetime for the scheduler, seconds", "600")
+      .option("survival-out", "write the survival curve (time,alive,client,cause) CSV", "-");
+}
+
 }  // namespace mosaiq::cli

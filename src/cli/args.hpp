@@ -74,4 +74,13 @@ struct ObsPaths {
 
 ObsPaths obs_paths_from(const ArgParser& p);
 
+/// Registers the fleet client-fault options: per-client batteries
+/// ("--fleet-battery" plus pack/provisioning knobs), scheduled client
+/// churn ("--churn-rate"), work replication ("--replication"), the
+/// battery-aware scheduler ("--battery-sched"), and "--survival-out"
+/// for the survival-curve CSV.  Registration only — the driver builds
+/// the core::FleetConfig from the parsed strings, so cli/ stays free
+/// of core/ dependencies.
+ArgParser& add_fleet_robustness_options(ArgParser& p);
+
 }  // namespace mosaiq::cli

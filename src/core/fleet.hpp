@@ -14,14 +14,50 @@
 // a small state machine (think → compute+protocol → medium grant →
 // transmit → server grant → serve → medium grant → receive → unpack),
 // and the medium/server are FIFO resources granted in event-time order.
+//
+// On top of the PR 4 link faults, the fleet models CLIENT faults: each
+// client can carry a heterogeneous sim::Battery that every query leg
+// drains, clients go dark on battery exhaustion or a scheduled
+// departure (net::ChurnConfig), the server detects silent clients via
+// the same timeout ladder the transport uses, and work units are
+// replicated across clients (first answer wins, duplicates discarded)
+// or reassigned to survivors so a dying fleet keeps answering.  A
+// battery-aware scheduler (core/scheduler.hpp) can bias the per-query
+// partitioning by reported charge.  With every extension disabled the
+// loop is bit-identical to the classic fleet.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/scheduler.hpp"
 #include "core/session.hpp"
+#include "sim/battery.hpp"
 
 namespace mosaiq::core {
+
+/// Deterministic heterogeneous battery provisioning for the fleet.
+/// Each client draws a capacity multiplier, an initial state of
+/// charge, and a plugged-in flag from a per-client seeded stream, so
+/// the fleet is a mix of full, half-drained, and wall-powered devices
+/// and the draw is independent of event interleaving.
+struct FleetBatteryConfig {
+  bool enabled = false;
+  /// Nominal pack; per-client capacity is jittered around it.
+  sim::BatteryConfig pack;
+  /// Capacity multiplier is uniform in [1-spread, 1+spread].
+  double capacity_spread = 0.25;
+  /// Initial state of charge is uniform in [min, max].
+  double min_initial_charge = 0.35;
+  double max_initial_charge = 1.0;
+  /// Probability a client is on wall power (its battery never drains
+  /// and it cannot die of exhaustion).
+  double plugged_fraction = 0.0;
+  std::uint64_t seed = 2003;
+  /// Battery exhaustion kills the client (the dramatic option); off,
+  /// batteries only track charge for the scheduler and the report.
+  bool deaths = true;
+};
 
 struct FleetConfig {
   std::uint32_t clients = 8;
@@ -35,6 +71,34 @@ struct FleetConfig {
   /// server-work, rx, w3-unpack, think) in global simulation time — the
   /// contention the utilization numbers summarize, made visible.
   obs::TraceSink* trace = nullptr;
+
+  // --- client-fault extensions (all off by default = classic fleet) --
+  /// Per-client batteries drained by every leg of every query.
+  FleetBatteryConfig battery;
+  /// Scheduled departures (clients leave even with charge to spare).
+  net::ChurnConfig churn;
+  /// Live copies of each work unit, placed on distinct clients
+  /// (origin, origin+1, ... mod K).  1 = no replication: a dead
+  /// client's unanswered units are simply lost.  >= 2 additionally
+  /// re-hands a unit to the least-loaded survivor when every replica
+  /// holder has died, after the timeout-ladder detection delay.
+  std::uint32_t replication = 1;
+  /// Battery-aware scheme biasing (overrides base.scheme per query).
+  SchedulerConfig scheduler;
+};
+
+enum class DeathCause : std::uint8_t { Battery, Departure };
+
+inline const char* name_of(DeathCause c) {
+  return c == DeathCause::Battery ? "battery" : "departed";
+}
+
+/// One client going dark, in simulation time.  The sequence of these
+/// IS the fleet survival curve: alive(t) = clients - #{deaths <= t}.
+struct ClientDeath {
+  double time_s = 0;
+  std::uint32_t client = 0;
+  DeathCause cause = DeathCause::Battery;
 };
 
 struct FleetOutcome {
@@ -54,6 +118,28 @@ struct FleetOutcome {
   std::uint64_t timeouts = 0;          ///< timeout expiries fleet-wide
   double wasted_tx_j = 0;              ///< TX energy of undelivered frames
   double wasted_rx_j = 0;              ///< RX energy of undelivered frames
+
+  // Client-fault accounting (defaults describe a fleet with every
+  // robustness extension disabled: everyone survives, every unit is
+  // answered exactly once).
+  std::uint32_t clients_alive = 0;      ///< still up at the end
+  std::uint32_t deaths_battery = 0;
+  std::uint32_t deaths_departed = 0;
+  std::uint64_t units_total = 0;        ///< distinct work units issued
+  std::uint64_t units_answered = 0;     ///< units somebody answered
+  std::uint64_t units_lost = 0;         ///< units nobody ever answered
+  std::uint64_t duplicate_answers = 0;  ///< answers discarded by dedup
+  std::uint64_t reassignments = 0;      ///< units re-handed to survivors
+  /// Jain's fairness index over per-client energy: 1 = perfectly even
+  /// spend, 1/K = one client paid for everything.
+  double energy_fairness = 1.0;
+  /// units_answered / units_total (1.0 for an empty fleet).
+  double answer_completeness = 1.0;
+  /// Deaths in time order (the survival curve's steps).
+  std::vector<ClientDeath> deaths;
+  /// Per-client total energy (CPU + NIC), for fairness analysis and
+  /// the per-track conservation oracle.
+  std::vector<double> client_energy_j;
 };
 
 /// Runs the fleet under `base.scheme` (FullyAtClient runs contention-free
@@ -62,6 +148,9 @@ struct FleetOutcome {
 /// shared seeded fault model (it is one shared medium): a leg that
 /// exhausts `base.retry`'s budget degrades the query to local execution
 /// (data at the client) or drops it, and the fleet keeps serving.
+/// Client faults (fleet.battery / fleet.churn) additionally let whole
+/// clients die mid-run; fleet.replication controls how much of their
+/// work the survivors can still answer.
 FleetOutcome run_fleet(const workload::Dataset& dataset, const SessionConfig& base,
                        const FleetConfig& fleet);
 

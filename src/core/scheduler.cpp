@@ -1,0 +1,120 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mosaiq::core {
+
+BatteryScheduler::BatteryScheduler(const workload::Dataset& dataset, const PlannerEnv& env,
+                                   const SchedulerConfig& cfg, std::uint32_t clients)
+    : cfg_(cfg), env_(env), planner_(dataset, env), reports_(clients) {}
+
+void BatteryScheduler::admit(std::uint32_t k, bool plugged, double charge_fraction,
+                             double capacity_j) {
+  ClientBatteryReport& r = reports_[k];
+  r.plugged = plugged;
+  r.charge_fraction = std::clamp(charge_fraction, 0.0, 1.0);
+  r.capacity_j = std::max(capacity_j, 0.0);
+  r.discharge_w = 0.0;
+  r.samples = 0;
+}
+
+void BatteryScheduler::report_charge(std::uint32_t k, double charge_fraction) {
+  reports_[k].charge_fraction = std::clamp(charge_fraction, 0.0, 1.0);
+}
+
+void BatteryScheduler::observe_draw(std::uint32_t k, double joules, double seconds) {
+  if (seconds <= 0.0 || joules < 0.0) return;
+  ClientBatteryReport& r = reports_[k];
+  const double draw_w = joules / seconds;
+  // One-pole EMA seeded by the first sample (BOINC's sched averages do
+  // the same so a fresh host is not anchored at zero).
+  r.discharge_w = r.samples == 0
+                      ? draw_w
+                      : cfg_.ema_alpha * draw_w + (1.0 - cfg_.ema_alpha) * r.discharge_w;
+  ++r.samples;
+}
+
+double BatteryScheduler::client_work_bias(std::uint32_t k) const {
+  const ClientBatteryReport& r = reports_[k];
+  if (r.plugged) return 1.0;
+  // Linear ramp: 0 at/below low_charge, 1 at/above high_charge.  Both
+  // factors below are non-decreasing in charge_fraction, so the
+  // product — and hence the chosen scheme's client energy — is
+  // monotone in charge (tests/test_scheduler.cpp).
+  const double span = std::max(cfg_.high_charge - cfg_.low_charge, 1e-9);
+  double bias = std::clamp((r.charge_fraction - cfg_.low_charge) / span, 0.0, 1.0);
+  if (r.discharge_w > 0.0 && r.capacity_j > 0.0 && cfg_.horizon_s > 0.0) {
+    // Projected runtime at the observed draw: a client predicted to
+    // die before the horizon sheds client work proportionally even at
+    // moderate charge.
+    const double energy_left_j = r.charge_fraction * r.capacity_j;
+    const double projected_runtime_s = energy_left_j / r.discharge_w;
+    bias *= std::clamp(projected_runtime_s / cfg_.horizon_s, 0.0, 1.0);
+  }
+  return bias;
+}
+
+Scheme BatteryScheduler::choose(std::uint32_t k, const rtree::Query& q,
+                                rtree::ExecHooks& server_cpu) const {
+  // Same estimation work the client-side Planner charges itself, but
+  // billed to the server: the histogram probe plus one model
+  // evaluation per candidate scheme.
+  server_cpu.instr(rtree::InstrMix{400, 60, 140});
+  server_cpu.read(rtree::simaddr::kScratchBase + (24u << 20), 256);
+
+  const auto kind = rtree::kind_of(q);
+  const bool hybrid_ok = kind == rtree::QueryKind::Point || kind == rtree::QueryKind::Range ||
+                         kind == rtree::QueryKind::Route;
+  const double bias = client_work_bias(k);
+
+  // Gather applicable predictions first: the scalarization needs the
+  // per-axis maxima for normalization before any scheme can be scored.
+  struct Scored {
+    Scheme scheme;
+    SchemePrediction pred;
+  };
+  std::vector<Scored> preds;
+  preds.reserve(4);
+  double max_latency_s = 0.0;
+  double max_energy_j = 0.0;
+  for (const Scheme s : {Scheme::FullyAtClient, Scheme::FullyAtServer,
+                         Scheme::FilterClientRefineServer, Scheme::FilterServerRefineClient}) {
+    if (!hybrid_ok && s != Scheme::FullyAtClient && s != Scheme::FullyAtServer) continue;
+    if (s == Scheme::FilterServerRefineClient && !env_.data_at_client) continue;
+    // A client without a local copy of the data cannot run the query
+    // locally at all (the Planner leaves this to its caller; the fleet
+    // would deadlock on it, so the scheduler gates it here).
+    if (s == Scheme::FullyAtClient && !env_.data_at_client) continue;
+    server_cpu.instr(rtree::InstrMix{300, 50, 90});
+    const SchemePrediction pred = planner_.predict(s, q);
+    max_latency_s = std::max(max_latency_s, pred.latency_s);
+    max_energy_j = std::max(max_energy_j, pred.energy_j);
+    preds.push_back({s, pred});
+  }
+
+  const double latency_norm = std::max(max_latency_s, 1e-300);
+  const double energy_norm = std::max(max_energy_j, 1e-300);
+  Scheme best = Scheme::FullyAtClient;
+  double best_cost = std::numeric_limits<double>::infinity();
+  double best_energy_j = std::numeric_limits<double>::infinity();
+  for (const Scored& c : preds) {
+    const double cost = bias * (c.pred.latency_s / latency_norm) +
+                        (1.0 - bias) * (c.pred.energy_j / energy_norm);
+    // Ties break toward lower client energy: this is what upgrades the
+    // exchange argument from "related" to "monotone" at bias values
+    // where two schemes score exactly equal.
+    if (cost < best_cost || (cost == best_cost && c.pred.energy_j < best_energy_j)) {
+      best_cost = cost;
+      best = c.scheme;
+      best_energy_j = c.pred.energy_j;
+    }
+  }
+  return best;
+}
+
+double BatteryScheduler::predicted_client_energy_j(Scheme scheme, const rtree::Query& q) const {
+  return planner_.predict(scheme, q).energy_j;
+}
+
+}  // namespace mosaiq::core

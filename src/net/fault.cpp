@@ -1,6 +1,7 @@
 #include "net/fault.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "net/channel_model.hpp"
 
@@ -88,6 +89,23 @@ TransferPlan plan_transfer(LinkFaultModel& fault, std::uint64_t payload_bytes,
     remaining -= chunk;
   }
   return plan;
+}
+
+double scheduled_departure_s(const ChurnConfig& cfg, std::uint32_t client) {
+  // mosaiq-lint: allow(rng-stream-balance) — the engine below is local and
+  // freshly seeded from (seed, client); the disabled path has no stream to
+  // stay aligned with.
+  if (!cfg.enabled()) return std::numeric_limits<double>::infinity();
+  // One seeded engine per (seed, client): the draw is independent of
+  // fleet event interleaving, so the schedule replays bit-identically
+  // and adding clients never perturbs existing departures.  The golden
+  // ratio multiplier decorrelates adjacent client streams.
+  std::mt19937_64 rng(cfg.seed * 0x9e3779b97f4a7c15ULL + client + 1);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  const double u = uniform(rng);
+  // Exponential via inversion; -log1p(-u) is exact near u = 0.
+  const double uptime_s = -std::log1p(-u) / cfg.departure_rate_per_s;
+  return cfg.min_uptime_s + uptime_s;
 }
 
 }  // namespace mosaiq::net

@@ -135,6 +135,43 @@ inline void align_rng(std::mt19937_64& rng, unsigned long long draws) {
   rng.discard(draws);
 }
 
+/// Client-churn fault model: where the loss models above kill *frames*,
+/// this one kills whole *clients*.  Each fleet client draws one
+/// scheduled departure time from a per-client exponential (BOINC's
+/// on-fraction / connected-fraction statistics reduced to a single
+/// hazard rate); a client may also go dark earlier when its battery
+/// runs out (core/fleet.cpp).  The schedule is a pure function of
+/// (seed, client), so it is independent of event interleaving and
+/// replays bit-identically.
+struct ChurnConfig {
+  /// Per-client departure hazard in 1/s (exponential mean uptime is
+  /// 1/rate).  Zero disables scheduled departures.
+  double departure_rate_per_s = 0.0;
+  std::uint64_t seed = 1;
+  /// Grace period: no scheduled departure before this simulation time.
+  double min_uptime_s = 0.0;
+
+  bool enabled() const { return departure_rate_per_s > 0.0; }
+};
+
+/// Client `k`'s scheduled departure time under `cfg` (infinity when
+/// scheduled churn is disabled).  Deterministic per (seed, client).
+double scheduled_departure_s(const ChurnConfig& cfg, std::uint32_t client);
+
+/// Time the server needs to declare a silent client dead: the whole
+/// retry ladder — initial timeout, then each backoff + re-timeout up to
+/// the retry budget — must expire unanswered first.  This is the same
+/// machinery plan_transfer charges a lost frame, applied to a peer that
+/// will never answer; fleet reassignment of a dead client's work waits
+/// this long after the death.
+inline double dead_client_detection_s(double frame_rtt_s, const RetryConfig& retry) {
+  double total_s = timeout_s(frame_rtt_s, retry);
+  for (std::uint32_t attempt = 1; attempt <= retry.retry_budget; ++attempt) {
+    total_s += backoff_s(frame_rtt_s, attempt) + timeout_s(frame_rtt_s, retry);
+  }
+  return total_s;
+}
+
 /// Seeded per-frame loss process.  deliver() consumes randomness in
 /// call order, so callers must offer frames in simulation order.
 class LinkFaultModel {

@@ -42,17 +42,28 @@ struct BatteryConfig {
 /// Tracks charge across a sequence of (energy, duration) activities.
 class Battery {
  public:
-  explicit Battery(const BatteryConfig& cfg = {}) : cfg_(cfg) {}
+  /// `initial_fraction` is the starting state of charge as a fraction
+  /// of a full battery (fleet clients join mid-discharge).
+  explicit Battery(const BatteryConfig& cfg = {}, double initial_fraction = 1.0)
+      : cfg_(cfg), spent_fraction_(1.0 - std::clamp(initial_fraction, 0.0, 1.0)) {}
+
+  /// Shortest activity with a meaningful *sustained* draw.  Bursts
+  /// shorter than this (in particular zero-duration bookkeeping spends)
+  /// are derated at the nominal rate instead of letting a division by
+  /// the old 1e-9 clamp manufacture a gigawatt draw and an absurd
+  /// Peukert penalty.
+  static constexpr double kMinActivityS = 1e-6;
 
   /// Consumes `joules` spread over `seconds`; the average power of the
   /// activity sets its Peukert derating.  Returns false once empty (the
   /// activity that crosses the cutoff still consumes).
   bool consume(double joules, double seconds) {
     if (joules <= 0) return !empty();
-    const double draw = joules / std::max(seconds, 1e-9);
-    const double budget = cfg_.usable_joules(draw);
+    const double draw_w =
+        seconds >= kMinActivityS ? joules / seconds : cfg_.nominal_draw_w;
+    const double budget_j = cfg_.usable_joules(draw_w);
     // Scale the charge cost by the derating for this draw level.
-    spent_fraction_ += joules / std::max(budget, 1e-12);
+    spent_fraction_ += joules / std::max(budget_j, 1e-12);
     return !empty();
   }
 

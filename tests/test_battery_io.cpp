@@ -44,6 +44,38 @@ TEST(Battery, ConsumeTracksCharge) {
   EXPECT_DOUBLE_EQ(b.remaining_fraction(), 0.0);
 }
 
+TEST(Battery, ZeroDurationSpendDeratesAtNominal) {
+  // Regression: zero- and sub-microsecond activities (bookkeeping
+  // spends) used to divide by a 1e-9 clamp, manufacturing a gigawatt
+  // draw whose Peukert penalty drained the pack by orders of magnitude
+  // too much.  They must cost exactly what the same joules cost at the
+  // nominal rate.
+  sim::Battery nominal;
+  const double j = 100.0;
+  EXPECT_TRUE(nominal.consume(j, j / nominal.config().nominal_draw_w));
+  sim::Battery zero;
+  EXPECT_TRUE(zero.consume(j, 0.0));
+  EXPECT_NEAR(zero.remaining_fraction(), nominal.remaining_fraction(), 1e-12);
+  sim::Battery burst;
+  EXPECT_TRUE(burst.consume(j, 1e-9));  // below kMinActivityS
+  EXPECT_NEAR(burst.remaining_fraction(), nominal.remaining_fraction(), 1e-12);
+  // At the threshold the sustained-draw path takes over smoothly.
+  sim::Battery edge;
+  EXPECT_TRUE(edge.consume(j, sim::Battery::kMinActivityS));
+  EXPECT_LT(edge.remaining_fraction(), nominal.remaining_fraction());
+}
+
+TEST(Battery, ZeroEnergySpendIsFree) {
+  sim::Battery b;
+  EXPECT_TRUE(b.consume(0.0, 0.0));
+  EXPECT_TRUE(b.consume(-1.0, 1.0));
+  EXPECT_DOUBLE_EQ(b.remaining_fraction(), 1.0);
+  // An empty battery keeps reporting empty through no-op spends.
+  sim::Battery drained(sim::BatteryConfig{}, 0.0);
+  EXPECT_FALSE(drained.consume(0.0, 0.0));
+  EXPECT_TRUE(drained.empty());
+}
+
 TEST(Battery, HighDrawDrainsFasterPerJoule) {
   sim::Battery trickle;
   sim::Battery burst;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/caching_client.hpp"
+#include "core/fleet.hpp"
 #include "core/session.hpp"
 #include "figure_common.hpp"
 #include "net/fault.hpp"
@@ -218,6 +219,62 @@ TEST(Determinism, FaultyLinkBatchesBitIdentical) {
     EXPECT_EQ(a.trace_json, b.trace_json);
     EXPECT_EQ(a.metrics_csv, b.metrics_csv);
   }
+}
+
+/// The full robustness stack — heterogeneous batteries draining per
+/// leg, scheduled churn killing clients, replicated units racing to
+/// first answer, reassignment after timeout detection, and the
+/// battery-aware scheduler steering schemes — replayed twice must be
+/// bit-identical down to every death time, per-client joule total, and
+/// trace byte.  The fault RNGs are pure functions of (seed, client)
+/// and the event queue breaks time ties deterministically.
+TEST(Determinism, FleetChurnReplicationBitIdentical) {
+  auto run = [&] {
+    obs::TraceSink trace;
+    core::SessionConfig cfg = config(core::Scheme::FullyAtServer);
+    core::FleetConfig fleet;
+    fleet.clients = 8;
+    fleet.queries_per_client = 8;
+    fleet.think_time_s = 0.3;
+    fleet.battery.enabled = true;
+    fleet.battery.pack.capacity_mah = 0.1;
+    fleet.battery.min_initial_charge = 0.02;
+    fleet.battery.max_initial_charge = 0.2;
+    fleet.churn.departure_rate_per_s = 0.12;
+    fleet.churn.seed = 7;
+    fleet.replication = 2;
+    fleet.scheduler.enabled = true;
+    fleet.trace = &trace;
+    const core::FleetOutcome o = core::run_fleet(data(), cfg, fleet);
+    std::ostringstream tj;
+    obs::write_chrome_trace(tj, trace);
+    return std::pair<core::FleetOutcome, std::string>(o, tj.str());
+  };
+  const auto [a, ta] = run();
+  const auto [b, tb] = run();
+  expect_bits(a.makespan_s, b.makespan_s, "makespan_s");
+  expect_bits(a.mean_latency_s, b.mean_latency_s, "mean_latency_s");
+  expect_bits(a.mean_client_energy_j, b.mean_client_energy_j, "mean_client_energy_j");
+  expect_bits(a.energy_fairness, b.energy_fairness, "energy_fairness");
+  EXPECT_EQ(a.answers, b.answers);
+  EXPECT_EQ(a.units_answered, b.units_answered);
+  EXPECT_EQ(a.units_lost, b.units_lost);
+  EXPECT_EQ(a.duplicate_answers, b.duplicate_answers);
+  EXPECT_EQ(a.reassignments, b.reassignments);
+  ASSERT_EQ(a.deaths.size(), b.deaths.size());
+  for (std::size_t i = 0; i < a.deaths.size(); ++i) {
+    expect_bits(a.deaths[i].time_s, b.deaths[i].time_s, "death time");
+    EXPECT_EQ(a.deaths[i].client, b.deaths[i].client);
+    EXPECT_EQ(a.deaths[i].cause, b.deaths[i].cause);
+  }
+  ASSERT_EQ(a.client_energy_j.size(), b.client_energy_j.size());
+  for (std::size_t k = 0; k < a.client_energy_j.size(); ++k) {
+    expect_bits(a.client_energy_j[k], b.client_energy_j[k], "client_energy_j");
+  }
+  EXPECT_EQ(ta, tb);
+  // The scenario actually exercises the machinery it pins.
+  EXPECT_GT(a.deaths.size(), 0u);
+  EXPECT_GT(a.units_total, 0u);
 }
 
 /// A cache-held build must be indistinguishable from a direct

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/fleet.hpp"
+#include "obs/trace.hpp"
 #include "workload/query_gen.hpp"
 
 namespace mosaiq::core {
@@ -109,6 +110,159 @@ TEST(Fleet, Deterministic) {
   EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
   EXPECT_DOUBLE_EQ(a.mean_client_energy_j, b.mean_client_energy_j);
   EXPECT_EQ(a.answers, b.answers);
+}
+
+// ---- client-fault extensions (batteries, churn, replication) --------
+
+/// Starved packs: tiny capacity and low initial charge, so a slice of
+/// the fleet dies of exhaustion mid-mission.  (A full mission costs a
+/// client roughly 0.09 of this pack's charge, so charges drawn from
+/// [0.01, 0.12] put most of the fleet on the wrong side of the line.)
+FleetConfig starving_fleet(std::uint32_t k, std::uint32_t replication = 1) {
+  FleetConfig f = fleet_of(k);
+  f.battery.enabled = true;
+  f.battery.pack.capacity_mah = 0.1;
+  f.battery.min_initial_charge = 0.01;
+  f.battery.max_initial_charge = 0.12;
+  f.replication = replication;
+  return f;
+}
+
+/// Scheduled departures tuned so a replicated 8-client mission loses
+/// roughly half the fleet mid-run.
+FleetConfig churning_fleet(std::uint32_t k, std::uint32_t replication) {
+  FleetConfig f = fleet_of(k);
+  f.churn.departure_rate_per_s = 0.08;
+  f.churn.seed = 7;
+  f.replication = replication;
+  return f;
+}
+
+TEST(Fleet, RobustnessOffIsBitIdenticalToClassic) {
+  // The entire client-fault layer behind one guarantee: defaults off,
+  // every scalar matches the classic loop bit for bit.
+  FleetConfig off = fleet_of(6);
+  off.replication = 1;  // explicit no-op settings
+  const FleetOutcome classic = run_fleet(data(), base_config(Scheme::FullyAtServer), fleet_of(6));
+  const FleetOutcome robust = run_fleet(data(), base_config(Scheme::FullyAtServer), off);
+  EXPECT_DOUBLE_EQ(classic.mean_latency_s, robust.mean_latency_s);
+  EXPECT_DOUBLE_EQ(classic.mean_client_energy_j, robust.mean_client_energy_j);
+  EXPECT_DOUBLE_EQ(classic.makespan_s, robust.makespan_s);
+  EXPECT_EQ(classic.answers, robust.answers);
+  EXPECT_EQ(robust.clients_alive, 6u);
+  EXPECT_EQ(robust.units_answered, robust.units_total);
+  EXPECT_EQ(robust.deaths.size(), 0u);
+  EXPECT_DOUBLE_EQ(robust.answer_completeness, 1.0);
+}
+
+TEST(Fleet, BatteryExhaustionKillsAndLosesWork) {
+  const FleetOutcome o =
+      run_fleet(data(), base_config(Scheme::FullyAtServer), starving_fleet(8));
+  EXPECT_GT(o.deaths_battery, 0u);
+  EXPECT_LT(o.clients_alive, 8u);
+  EXPECT_GT(o.units_lost, 0u);  // replication 1: dead clients' units are gone
+  EXPECT_LT(o.answer_completeness, 1.0);
+  EXPECT_EQ(o.units_answered + o.units_lost, o.units_total);
+  // The survival curve lists exactly the deaths, in time order.
+  EXPECT_EQ(o.deaths.size(), static_cast<std::size_t>(o.deaths_battery + o.deaths_departed));
+  for (std::size_t i = 1; i < o.deaths.size(); ++i) {
+    EXPECT_LE(o.deaths[i - 1].time_s, o.deaths[i].time_s);
+  }
+}
+
+TEST(Fleet, ReplicationRecoversLostUnits) {
+  // The acceptance scenario: same churning fleet, replication 1 vs 2.
+  // Unreplicated shows hard failures; with two replicas a fleet losing
+  // >= 30% of its clients still answers >= 99% of the queries.
+  const FleetOutcome r1 =
+      run_fleet(data(), base_config(Scheme::FullyAtServer), churning_fleet(8, 1));
+  const FleetOutcome r2 =
+      run_fleet(data(), base_config(Scheme::FullyAtServer), churning_fleet(8, 2));
+  ASSERT_GT(r1.units_lost, 0u);
+  EXPECT_GE(static_cast<double>(r2.deaths.size()), 0.3 * 8)
+      << "scenario must actually lose >= 30% of the fleet";
+  EXPECT_GE(r2.answer_completeness, 0.99);
+  EXPECT_GT(r2.answer_completeness, r1.answer_completeness);
+  EXPECT_EQ(r2.units_answered + r2.units_lost, r2.units_total);
+}
+
+TEST(Fleet, ChurnDeparturesAreDeterministic) {
+  FleetConfig f = fleet_of(8);
+  f.churn.departure_rate_per_s = 0.05;
+  f.churn.seed = 7;
+  f.replication = 2;
+  const FleetOutcome a = run_fleet(data(), base_config(Scheme::FullyAtServer), f);
+  const FleetOutcome b = run_fleet(data(), base_config(Scheme::FullyAtServer), f);
+  EXPECT_GT(a.deaths_departed, 0u);
+  EXPECT_EQ(a.deaths_departed, b.deaths_departed);
+  EXPECT_EQ(a.units_answered, b.units_answered);
+  EXPECT_EQ(a.answers, b.answers);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_DOUBLE_EQ(a.mean_client_energy_j, b.mean_client_energy_j);
+  for (std::size_t i = 0; i < a.deaths.size() && i < b.deaths.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.deaths[i].time_s, b.deaths[i].time_s);
+    EXPECT_EQ(a.deaths[i].client, b.deaths[i].client);
+  }
+}
+
+TEST(Fleet, MinUptimeDelaysDepartures) {
+  FleetConfig f = fleet_of(6);
+  f.churn.departure_rate_per_s = 0.5;  // aggressive: everyone leaves fast
+  f.churn.min_uptime_s = 5.0;
+  f.replication = 2;
+  const FleetOutcome o = run_fleet(data(), base_config(Scheme::FullyAtServer), f);
+  for (const ClientDeath& d : o.deaths) {
+    EXPECT_EQ(d.cause, DeathCause::Departure);
+    EXPECT_GE(d.time_s, 5.0);
+  }
+}
+
+TEST(Fleet, PerTrackEnergyReconcilesWithSpans) {
+  // The conservation oracle under the FULL robustness stack: batteries
+  // draining, churn killing, replicas racing, scheduler steering.  Each
+  // client's reported total energy must equal the sum of its trace
+  // spans' joules to 1e-9 — every spend settles into exactly one span.
+  obs::TraceSink sink;
+  SessionConfig cfg = base_config(Scheme::FullyAtServer);
+  FleetConfig f = starving_fleet(6, 2);
+  f.churn.departure_rate_per_s = 0.01;
+  f.scheduler.enabled = true;
+  f.trace = &sink;
+  const FleetOutcome o = run_fleet(data(), cfg, f);
+  ASSERT_EQ(o.client_energy_j.size(), 6u);
+  std::vector<double> span_j(6, 0.0);
+  for (const obs::Span& s : sink.spans()) {
+    if (s.category != obs::SpanCategory::Phase) continue;
+    ASSERT_LT(s.track, 6u);
+    span_j[s.track] += s.joules;
+  }
+  for (std::size_t k = 0; k < 6; ++k) {
+    EXPECT_NEAR(span_j[k], o.client_energy_j[k], 1e-9) << "client " << k;
+  }
+  // And the fairness index is a valid Jain's value for 6 clients.
+  EXPECT_GT(o.energy_fairness, 1.0 / 6.0 - 1e-12);
+  EXPECT_LE(o.energy_fairness, 1.0 + 1e-12);
+}
+
+TEST(Fleet, ReassignmentRehandsOrphanedUnits) {
+  // A faster churn with replication 2: units whose replica holders all
+  // died get re-handed to survivors after the detection delay, and the
+  // fleet still answers everything.
+  FleetConfig f = churning_fleet(8, 2);
+  f.churn.departure_rate_per_s = 0.12;
+  const FleetOutcome o = run_fleet(data(), base_config(Scheme::FullyAtServer), f);
+  EXPECT_GT(o.reassignments, 0u);
+  EXPECT_GT(o.clients_alive, 0u);
+  EXPECT_DOUBLE_EQ(o.answer_completeness, 1.0);
+}
+
+TEST(Fleet, PluggedClientsNeverDieOfExhaustion) {
+  FleetConfig f = starving_fleet(6);
+  f.battery.plugged_fraction = 1.0;  // the whole fleet on wall power
+  const FleetOutcome o = run_fleet(data(), base_config(Scheme::FullyAtServer), f);
+  EXPECT_EQ(o.deaths_battery, 0u);
+  EXPECT_EQ(o.clients_alive, 6u);
+  EXPECT_DOUBLE_EQ(o.answer_completeness, 1.0);
 }
 
 }  // namespace

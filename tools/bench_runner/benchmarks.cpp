@@ -210,6 +210,26 @@ void register_all_benchmarks() {
     return o.answers;
   });
 
+  add("fleet/churn_replicated", [] { data(); }, [] {
+    // The full robustness stack: batteries draining, churn killing,
+    // replicas racing, reassignment — the event loop's worst case.
+    core::FleetConfig fleet;
+    fleet.clients = 8;
+    fleet.queries_per_client = 4;
+    fleet.think_time_s = 0.1;
+    fleet.battery.enabled = true;
+    fleet.battery.pack.capacity_mah = 0.1;
+    fleet.battery.min_initial_charge = 0.05;
+    fleet.battery.max_initial_charge = 0.5;
+    fleet.churn.departure_rate_per_s = 0.1;
+    fleet.churn.seed = 7;
+    fleet.replication = 2;
+    fleet.scheduler.enabled = true;
+    const core::FleetOutcome o =
+        core::run_fleet(data(), session_config(core::Scheme::FullyAtServer), fleet);
+    return o.units_answered + o.answers;
+  });
+
   // --- the perf substrate itself --------------------------------------
   add("perf/parallel_map", {}, [] {
     const auto out = stats::parallel_map<std::uint64_t>(512, [](std::size_t i) {

@@ -337,6 +337,7 @@ int cmd_fleet(int argc, const char* const* argv) {
   cli::ArgParser p("mosaiq fleet",
                    "Simulate K clients sharing one medium and one server.");
   add_common_options(p);
+  cli::add_fleet_robustness_options(p);
   p.option("scheme", "client|server|filter-client|filter-server", "server")
       .option("clients", "comma-separated fleet sizes", "1,2,4,8,16")
       .option("think", "inter-query think time, seconds", "1.0");
@@ -346,26 +347,54 @@ int cmd_fleet(int argc, const char* const* argv) {
   core::SessionConfig cfg = config_from(p);
   cfg.scheme = parse_scheme(p.get("scheme"));
 
+  core::FleetConfig proto;  // the per-size configs below copy this
+  proto.queries_per_client = static_cast<std::uint32_t>(p.get_int("n"));
+  proto.think_time_s = p.get_double("think");
+  proto.query_kind = parse_query_kind(p.get("query"));
+  proto.workload_seed = static_cast<std::uint64_t>(p.get_int("seed"));
+  proto.battery.enabled = p.get_flag("fleet-battery");
+  proto.battery.pack.capacity_mah = p.get_double("battery-capacity-mah");
+  proto.battery.capacity_spread = p.get_double("battery-spread");
+  proto.battery.min_initial_charge = p.get_double("battery-min-charge");
+  proto.battery.plugged_fraction = p.get_double("plugged-fraction");
+  proto.battery.seed = static_cast<std::uint64_t>(p.get_int("battery-seed"));
+  proto.battery.deaths = !p.get_flag("no-battery-deaths");
+  proto.churn.departure_rate_per_s = p.get_double("churn-rate");
+  proto.churn.seed = static_cast<std::uint64_t>(p.get_int("churn-seed"));
+  proto.churn.min_uptime_s = p.get_double("churn-min-uptime");
+  proto.replication = static_cast<std::uint32_t>(p.get_int("replication"));
+  proto.scheduler.enabled = p.get_flag("battery-sched");
+  proto.scheduler.low_charge = p.get_double("sched-low-charge");
+  proto.scheduler.high_charge = p.get_double("sched-high-charge");
+  proto.scheduler.horizon_s = p.get_double("sched-horizon");
+  const bool robust = proto.battery.enabled || proto.churn.enabled() ||
+                      proto.replication > 1 || proto.scheduler.enabled;
+
   const cli::ObsPaths obs_paths = cli::obs_paths_from(p);
   std::vector<std::unique_ptr<obs::TraceSink>> sinks;
   std::vector<obs::NamedTrace> named;
 
-  // Fault columns only appear when fault injection is on, so fault-free
-  // output stays identical to the pre-fault driver.
+  // Fault/churn columns only appear when the matching injection is on,
+  // so fault-free output stays identical to the pre-fault driver.
   std::vector<std::string> headers = {"clients",     "mean latency(s)", "p95(s)", "E/client(J)",
                                       "medium util", "server util",     "answers"};
   if (cfg.fault.enabled()) {
     headers.insert(headers.end(), {"degraded", "failed", "retx", "wasted(J)"});
   }
+  if (robust) {
+    headers.insert(headers.end(), {"alive", "lost", "dup", "complete", "fairness"});
+  }
   stats::Table t(headers);
+  std::ofstream survival_out;
+  if (p.get("survival-out") != "-") {
+    survival_out.open(p.get("survival-out"));
+    if (!survival_out) throw std::runtime_error("cannot open " + p.get("survival-out"));
+    survival_out << "clients,time_s,alive,client,cause\n";
+  }
   std::stringstream ss(p.get("clients"));
   for (std::string tok; std::getline(ss, tok, ',');) {
-    core::FleetConfig fleet;
+    core::FleetConfig fleet = proto;
     fleet.clients = static_cast<std::uint32_t>(std::stoul(tok));
-    fleet.queries_per_client = static_cast<std::uint32_t>(p.get_int("n"));
-    fleet.think_time_s = p.get_double("think");
-    fleet.query_kind = parse_query_kind(p.get("query"));
-    fleet.workload_seed = static_cast<std::uint64_t>(p.get_int("seed"));
     if (obs_paths.enabled()) {
       sinks.push_back(std::make_unique<obs::TraceSink>());
       fleet.trace = sinks.back().get();
@@ -381,9 +410,26 @@ int cmd_fleet(int argc, const char* const* argv) {
                              std::to_string(o.retransmissions),
                              stats::fmt_joules(o.wasted_tx_j + o.wasted_rx_j)});
     }
+    if (robust) {
+      row.insert(row.end(), {std::to_string(o.clients_alive), std::to_string(o.units_lost),
+                             std::to_string(o.duplicate_answers),
+                             stats::fmt_pct(o.answer_completeness),
+                             stats::fmt_fixed(o.energy_fairness, 3)});
+    }
     t.row(row);
+    if (survival_out.is_open()) {
+      std::uint32_t alive = fleet.clients;
+      for (const core::ClientDeath& death : o.deaths) {
+        --alive;
+        survival_out << tok << "," << stats::fmt_sci(death.time_s, 6) << "," << alive << ","
+                     << death.client << "," << name_of(death.cause) << "\n";
+      }
+    }
   }
   emit(t, p.get_flag("csv"));
+  if (survival_out.is_open()) {
+    std::cout << "survival curve written to " << p.get("survival-out") << "\n";
+  }
   if (obs_paths.enabled()) write_obs_outputs(obs_paths, named, nullptr);
   return 0;
 }
