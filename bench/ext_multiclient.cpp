@@ -8,13 +8,18 @@
 // latency and their per-client energy (NIC idling in line) — fleet
 // size joins bandwidth, distance, and clock ratio as a decision input.
 #include <iostream>
+#include <vector>
 
 #include "core/fleet.hpp"
 #include "figure_common.hpp"
 
 using namespace mosaiq;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::FleetOverride ov = bench::parse_fleet_override(argc, argv);
+  // The documented sweep by default; one override size when asked.
+  std::vector<std::uint32_t> sizes = {1u, 2u, 4u, 8u, 16u, 32u};
+  if (ov.clients > 0) sizes = {ov.clients};
   std::cout << "=== Extension: fleet scaling (PA, 2 Mbps, C/S=1/8, 1 km) ===\n";
   const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
@@ -26,12 +31,13 @@ int main() {
     std::cout << "--- " << name_of(scheme) << " ---\n";
     stats::Table t({"clients", "mean latency(s)", "p95 latency(s)", "E/client(J)",
                     "medium util", "server util"});
-    for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    for (const std::uint32_t k : sizes) {
       core::SessionConfig cfg = bench::make_config({scheme, true}, 2.0);
       core::FleetConfig fleet;
       fleet.clients = k;
       fleet.queries_per_client = 12;
       fleet.think_time_s = 1.0;
+      fleet.engine = ov.engine;
       const core::FleetOutcome o = core::run_fleet(pa, cfg, fleet);
       t.row({std::to_string(k), stats::fmt_fixed(o.mean_latency_s, 3),
              stats::fmt_fixed(o.p95_latency_s, 3),

@@ -33,7 +33,7 @@ using namespace mosaiq;
 
 namespace {
 
-constexpr std::uint32_t kClients = 12;
+constexpr std::uint32_t kDefaultClients = 12;
 constexpr std::uint32_t kQueriesPerClient = 10;
 
 core::SessionConfig session_config() {
@@ -44,11 +44,12 @@ core::SessionConfig session_config() {
   return cfg;
 }
 
-core::FleetConfig fleet_config() {
+core::FleetConfig fleet_config(const bench::FleetOverride& ov) {
   core::FleetConfig f;
-  f.clients = kClients;
+  f.clients = kDefaultClients;
   f.queries_per_client = kQueriesPerClient;
   f.think_time_s = 0.4;
+  ov.apply(f);
   return f;
 }
 
@@ -67,9 +68,11 @@ stats::Table outcome_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::FleetOverride ov = bench::parse_fleet_override(argc, argv);
+  const std::uint32_t n_clients = ov.clients > 0 ? ov.clients : kDefaultClients;
   std::cout << "=== Extension: fleet survival under churn (PA, 4 Mbps, C/S=1/8, "
-            << kClients << " clients) ===\n";
+            << n_clients << " clients) ===\n";
   const workload::Dataset& pa = bench::load_pa();
   bench::print_dataset_banner(pa, std::cout);
   std::cout << kQueriesPerClient << " range queries per client; churn seed 7\n\n";
@@ -78,7 +81,7 @@ int main() {
   for (const std::uint32_t replication : {1u, 2u, 3u}) {
     stats::Table t = outcome_table();
     for (const double rate : {0.0, 0.02, 0.05, 0.08, 0.12}) {
-      core::FleetConfig f = fleet_config();
+      core::FleetConfig f = fleet_config(ov);
       f.churn.departure_rate_per_s = rate;
       f.churn.seed = 7;
       f.replication = replication;
@@ -91,13 +94,13 @@ int main() {
 
   std::cout << "--- survival curves (churn 0.08/s): alive(t) steps ---\n";
   for (const std::uint32_t replication : {1u, 3u}) {
-    core::FleetConfig f = fleet_config();
+    core::FleetConfig f = fleet_config(ov);
     f.churn.departure_rate_per_s = 0.08;
     f.churn.seed = 7;
     f.replication = replication;
     const core::FleetOutcome o = core::run_fleet(pa, session_config(), f);
-    std::cout << "R=" << replication << ": alive " << kClients;
-    std::uint32_t alive = kClients;
+    std::cout << "R=" << replication << ": alive " << n_clients;
+    std::uint32_t alive = n_clients;
     for (const core::ClientDeath& d : o.deaths) {
       alive -= 1;
       std::cout << " -> " << alive << " @" << stats::fmt_fixed(d.time_s, 2) << "s("
@@ -111,7 +114,7 @@ int main() {
   {
     stats::Table t = outcome_table();
     for (const bool sched : {false, true}) {
-      core::FleetConfig f = fleet_config();
+      core::FleetConfig f = fleet_config(ov);
       // A longer mission than the churn sweeps: enough drain that the
       // weakest packs cannot finish without help.
       f.queries_per_client = 2 * kQueriesPerClient;

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fleet.hpp"
 #include "core/session.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
@@ -158,6 +159,39 @@ inline void run_sweep(const workload::Dataset& data, std::span<const rtree::Quer
       os << "\ntrace: cannot open " << trace_path << "\n";
     }
   }
+}
+
+/// Fleet-size / engine override for the ext_* fleet harnesses.  The
+/// sweeps keep their documented small default fleets (output stays
+/// byte-for-byte identical when nothing is set), but
+/// MOSAIQ_FLEET_CLIENTS / MOSAIQ_FLEET_ENGINE=des in the environment —
+/// or "--clients N" / "--engine des" on the command line, which win
+/// over the environment — re-point the same binaries at arbitrary
+/// sizes so the DES sweeps reuse them instead of forking copies.
+struct FleetOverride {
+  std::uint32_t clients = 0;  ///< 0 = keep the harness default
+  core::FleetEngine engine = core::FleetEngine::Loop;
+
+  void apply(core::FleetConfig& f) const {
+    if (clients > 0) f.clients = clients;
+    f.engine = engine;
+  }
+};
+
+inline FleetOverride parse_fleet_override(int argc, const char* const* argv) {
+  FleetOverride o;
+  const char* clients = std::getenv("MOSAIQ_FLEET_CLIENTS");
+  const char* engine = std::getenv("MOSAIQ_FLEET_ENGINE");
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--clients") clients = argv[++i];
+    if (a == "--engine") engine = argv[++i];
+  }
+  if (clients != nullptr) {
+    o.clients = static_cast<std::uint32_t>(std::strtoul(clients, nullptr, 10));
+  }
+  if (engine != nullptr && std::string(engine) == "des") o.engine = core::FleetEngine::Des;
+  return o;
 }
 
 inline void print_dataset_banner(const workload::Dataset& d, std::ostream& os) {

@@ -67,10 +67,11 @@ if [ "$san" = 1 ]; then
   cmake --build --preset asan-ubsan -j"$(nproc)"
   ctest --preset asan-ubsan -j"$(nproc)"
 
-  echo "==> TSan: threaded suites (test_parallel, test_perf, test_fleet, test_scheduler, test_obs, test_fault)"
+  echo "==> TSan: threaded suites (test_parallel, test_perf, test_fleet, test_fleet_des, test_event_queue, test_scheduler, test_obs, test_fault)"
   cmake --preset tsan
   cmake --build --preset tsan -j"$(nproc)" \
-    --target test_parallel test_perf test_fleet test_scheduler test_obs test_fault
+    --target test_parallel test_perf test_fleet test_fleet_des test_event_queue \
+    test_scheduler test_obs test_fault
   ctest --preset tsan -j"$(nproc)"
 fi
 

@@ -11,14 +11,19 @@
 #   3. Every build/bench/NAME, build/examples/NAME, build/tools/...
 #      binary path a doc references must have a matching source
 #      (bench/NAME*.cpp, examples/NAME.cpp, a tools/ subdirectory).
+#   4. Every ctest gate a doc names (lint_*, cli_*, bench_*, example_*,
+#      headers_*, docs_*, clang_*) must be a registered add_test().
+#   5. Every mosaiq-bench entry a doc names (group/name with a known
+#      registry group) must be registered in
+#      tools/bench_runner/benchmarks.cpp.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DOCS=(README.md DESIGN.md EXPERIMENTS.md CONTRIBUTING.md
-      docs/TUTORIAL.md docs/MODEL.md docs/BENCHMARKING.md)
+      docs/ARCHITECTURE.md docs/TUTORIAL.md docs/MODEL.md docs/BENCHMARKING.md)
 # Everywhere a flag can legitimately be defined or consumed.
 FLAG_SOURCES=(tools/mosaiq.cpp tools/bench_runner/main.cpp
-              src/cli/args.cpp src/cli/args.hpp
+              src/cli/args.cpp src/cli/args.hpp bench/figure_common.hpp
               tools/lint/*.cpp examples/*.cpp scripts/*.sh CMakePresets.json)
 # Flags owned by tools outside this repo (cmake/ctest/gtest/...) that the
 # flag sources never need to mention.
@@ -59,6 +64,38 @@ for p in $(grep -ohE -- 'build/tools/[A-Za-z0-9_/-]+' "${DOCS[@]}" | sort -u); d
   if [ -e "$rel.cpp" ] || [ -d "$rel" ]; then continue; fi
   if [ "$parent" != "tools" ] && [ -d "$parent" ]; then continue; fi
   echo "check_docs: documented tool path $p has no matching source under tools/"
+  fail=1
+done
+
+# --- 4. referenced ctest gates must be registered -------------------
+# Valid set: every add_test(NAME ...) in the tree.  Candidates: doc
+# tokens with a gate prefix, not part of a path (tests/lint_fixtures),
+# not a filename (lint_baseline.txt), no wildcards (lint_cli_*).
+gates=$(grep -rhoE 'add_test\(NAME [A-Za-z0-9_]+' --include=CMakeLists.txt . \
+        | sed 's/.*NAME //' | sort -u)
+for g in $(grep -ohP -- '(?<![/a-z0-9_-])(lint|cli|bench|example|headers|docs|clang)_[a-z0-9_]+(?![a-z0-9_*]|\.[a-z])' \
+             "${DOCS[@]}" | sort -u); do
+  case " $(echo $gates) " in *" $g "*) continue ;; esac
+  # Not a gate if it names a real source/tool path component instead.
+  if compgen -G "tools/$g" > /dev/null || compgen -G "*/$g*" > /dev/null; then continue; fi
+  echo "check_docs: documented ctest gate $g is not registered by any add_test()"
+  fail=1
+done
+
+# --- 5. referenced bench entries must be registered -----------------
+# Valid set: every add("group/name") in the bench registry.  Candidates:
+# doc tokens shaped group/name for a group the registry uses; tokens
+# that name a real source module (e.g. net/fault) are code references,
+# not bench names, and are skipped.
+bench_groups=$(grep -ohE 'add\("[a-z_]+/' tools/bench_runner/benchmarks.cpp \
+               | sed 's/add("//; s;/$;;' | sort -u | paste -sd'|')
+bench_names=$(grep -ohE 'add\("[a-z_]+/[a-z0-9_]+"' tools/bench_runner/benchmarks.cpp \
+              | sed 's/add("//; s/"$//' | sort -u)
+for b in $(grep -ohP -- "(?<![a-z0-9_/-])(${bench_groups})/[a-z0-9_]+(?![a-z0-9_/]|\.[a-z])" \
+             "${DOCS[@]}" | sort -u); do
+  case " $(echo $bench_names) " in *" $b "*) continue ;; esac
+  if compgen -G "src/$b.*" > /dev/null || [ -d "src/$b" ] || [ -d "$b" ]; then continue; fi
+  echo "check_docs: documented benchmark $b is not registered in tools/bench_runner/benchmarks.cpp"
   fail=1
 done
 

@@ -180,4 +180,17 @@ ArgParser& add_fleet_robustness_options(ArgParser& p) {
       .option("survival-out", "write the survival curve (time,alive,client,cause) CSV", "-");
 }
 
+ArgParser& add_fleet_engine_options(ArgParser& p) {
+  return p
+      .option("fleet-engine", "event engine: loop (classic heap) or des (timer wheel)",
+              "loop")
+      .option("fleet-size",
+              "run one fleet of exactly this size, overriding --clients (0 = off)", "0")
+      .option("hotspots",
+              "Zipf-skewed shared query streams; clients draw one by popularity (0 = "
+              "every client its own stream)",
+              "0")
+      .option("zipf-theta", "Zipf exponent for hotspot popularity", "0.9");
+}
+
 }  // namespace mosaiq::cli

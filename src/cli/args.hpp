@@ -83,4 +83,12 @@ ObsPaths obs_paths_from(const ArgParser& p);
 /// of core/ dependencies.
 ArgParser& add_fleet_robustness_options(ArgParser& p);
 
+/// Registers the fleet event-engine options: "--fleet-engine"
+/// (loop = classic binary heap, des = hierarchical timer wheel — both
+/// bit-identical, the wheel built for 10^5..10^6 clients),
+/// "--fleet-size" (a single large fleet size overriding the
+/// "--clients" sweep list), and the Zipf hotspot knobs "--hotspots" /
+/// "--zipf-theta" for skewed shared query streams.
+ArgParser& add_fleet_engine_options(ArgParser& p);
+
 }  // namespace mosaiq::cli

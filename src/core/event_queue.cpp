@@ -1,0 +1,154 @@
+#include "core/event_queue.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <utility>
+
+namespace mosaiq::core {
+
+namespace {
+
+constexpr std::uint64_t kNoTick = std::numeric_limits<std::uint64_t>::max();
+
+/// Strict "dequeues later" order; doubles as the heap comparator (a
+/// max-heap under `after` keeps the minimum triple at the front).
+bool entry_after(const EventQueue::Entry& a, const EventQueue::Entry& b) {
+  if (a.time_s != b.time_s) return a.time_s > b.time_s;
+  if (a.key != b.key) return a.key > b.key;
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+EventQueue::EventQueue(double tick_s) : tick_s_(tick_s > 0 ? tick_s : 1e-6) {}
+
+std::uint64_t EventQueue::tick_of(double time_s) const {
+  if (!(time_s > 0)) return 0;  // negatives and NaN clamp to the origin
+  const double t = time_s / tick_s_;
+  // Saturate far-future times (scheduled departures under a tiny churn
+  // hazard can land centuries out) instead of overflowing the cast.
+  constexpr double kMaxTick = 9.0e18;
+  if (t >= kMaxTick) return static_cast<std::uint64_t>(kMaxTick);
+  // Division is monotone and the cast truncates, so bucketing can
+  // never invert the order of two distinct times — the property the
+  // cross-slot dequeue order relies on.
+  return static_cast<std::uint64_t>(t);
+}
+
+std::uint64_t EventQueue::push(double time_s, std::uint64_t key) {
+  const std::uint64_t seq = next_seq_++;
+  place(Entry{time_s, key, seq});
+  ++live_;
+  return seq;
+}
+
+void EventQueue::cancel(std::uint64_t seq) {
+  // Lazy: the entry stays in its slot and is dropped when the cursor
+  // reaches it.  Double-cancel is a no-op.
+  if (cancelled_.insert(seq).second && live_ > 0) --live_;
+}
+
+void EventQueue::place(const Entry& e) {
+  std::uint64_t t = tick_of(e.time_s);
+  // Events at or before the cursor (a death recorded at the stage that
+  // drained the battery, a reassignment "now") are served next: they
+  // share the cursor's bucket and win it on their exact time.
+  if (t < cur_tick_) t = cur_tick_;
+  for (int i = 0; i < kLevels; ++i) {
+    // Level i may hold `t` only while t and the cursor sit in the same
+    // aligned level-(i+1) window; then (t >> shift) & 63 is unambiguous
+    // and always at or after the cursor's own index.
+    const int parent_shift = kSlotBits * (i + 1);
+    if ((t >> parent_shift) != (cur_tick_ >> parent_shift)) continue;
+    const int shift = kSlotBits * i;
+    const auto s = static_cast<std::size_t>((t >> shift) & (kSlots - 1));
+    std::vector<Entry>& slot = slots_[i][s];
+    slot.push_back(e);
+    // Level-0 slots hold a single tick and dequeue one entry at a
+    // time, so they are kept heap-ordered; upper slots cascade whole.
+    if (i == 0) std::push_heap(slot.begin(), slot.end(), entry_after);
+    occupied_[i] |= 1ull << s;
+    return;
+  }
+  overflow_[t].push_back(e);
+  ++overflow_entries_;
+}
+
+std::uint64_t EventQueue::level_floor(int i, std::uint64_t* slot_out) const {
+  const int shift = kSlotBits * i;
+  const std::uint64_t cur_idx = (cur_tick_ >> shift) & (kSlots - 1);
+  // Slots before the cursor's index are in the past and provably
+  // empty; mask them off so countr_zero finds the next pending slot.
+  const std::uint64_t bits = occupied_[i] & (~0ull << cur_idx);
+  if (bits == 0) return kNoTick;
+  const auto s = static_cast<std::uint64_t>(std::countr_zero(bits));
+  const int parent_shift = shift + kSlotBits;
+  const std::uint64_t parent = (cur_tick_ >> parent_shift) << parent_shift;
+  *slot_out = s;
+  return parent + (s << shift);
+}
+
+std::optional<EventQueue::Entry> EventQueue::pop() {
+  while (live_ > 0) {
+    std::uint64_t slot0 = 0;
+    const std::uint64_t floor0 = level_floor(0, &slot0);
+
+    // The earliest upper-level slot (or overflow bucket) at or before
+    // the level-0 front may hide earlier entries: cascade it first.
+    int level = 0;
+    std::uint64_t slot = 0;
+    std::uint64_t floor_wheel = kNoTick;
+    for (int i = 1; i < kLevels; ++i) {
+      std::uint64_t s = 0;
+      const std::uint64_t f = level_floor(i, &s);
+      if (f < floor_wheel) {
+        floor_wheel = f;
+        level = i;
+        slot = s;
+      }
+    }
+    const std::uint64_t floor_ovf =
+        overflow_.empty() ? kNoTick : overflow_.begin()->first;
+
+    if (floor_wheel <= floor0 && floor_wheel <= floor_ovf && level > 0) {
+      // Nothing pends before this slot, so the cursor may advance to
+      // its start; every entry then re-places at least one level down.
+      cur_tick_ = std::max(cur_tick_, floor_wheel);
+      std::vector<Entry> moved;
+      moved.swap(slots_[level][static_cast<std::size_t>(slot)]);
+      occupied_[level] &= ~(1ull << slot);
+      for (const Entry& e : moved) {
+        if (cancelled_.erase(e.seq) > 0) continue;  // reclaim lazily
+        place(e);
+      }
+      continue;
+    }
+    if (floor_ovf < floor0) {
+      cur_tick_ = std::max(cur_tick_, floor_ovf);
+      auto first = overflow_.begin();
+      std::vector<Entry> moved = std::move(first->second);
+      overflow_.erase(first);
+      overflow_entries_ -= moved.size();
+      for (const Entry& e : moved) {
+        if (cancelled_.erase(e.seq) > 0) continue;
+        place(e);
+      }
+      continue;
+    }
+    if (floor0 == kNoTick) return std::nullopt;  // defensive: nothing anywhere
+
+    std::vector<Entry>& front = slots_[0][static_cast<std::size_t>(slot0)];
+    std::pop_heap(front.begin(), front.end(), entry_after);
+    const Entry e = front.back();
+    front.pop_back();
+    if (front.empty()) occupied_[0] &= ~(1ull << slot0);
+    cur_tick_ = std::max(cur_tick_, floor0);
+    if (cancelled_.erase(e.seq) > 0) continue;
+    --live_;
+    return e;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mosaiq::core

@@ -1,0 +1,114 @@
+// Deterministic discrete-event calendar: a hierarchical timer wheel
+// with a sorted-map overflow for far-future events.
+//
+// The fleet's event loop used a binary heap (std::priority_queue),
+// which costs O(log n) per operation and compares full (time, kind,
+// id) keys on every sift.  At fleet sizes in the 10^5..10^6 range the
+// heap becomes the hottest structure in the simulation, so this queue
+// replaces it with the classic O(1)-amortized design from OS timer
+// subsystems: six levels of 64 slots each, where level i buckets
+// events tick-granularity * 64^i apart, plus a std::map calendar for
+// anything beyond the wheel's horizon.  Events cascade toward level 0
+// as the cursor advances and are dequeued in exactly nondecreasing
+// (time, key, seq) order:
+//
+//   - time  — simulation seconds (exact double, not the quantized tick);
+//   - key   — caller-chosen tie-break, built with event_tie_break();
+//   - seq   — insertion order, so equal (time, key) dequeues FIFO.
+//
+// The tick granularity only affects bucketing performance, never
+// ordering: bucketing uses floor(time / tick), which is monotone in
+// time, and entries sharing a bucket are kept as a min-heap on the
+// exact (time, key, seq) triple.  This makes the dequeue sequence of
+// EventQueue provably identical to a binary min-heap over the same
+// triples — the property the fleet's classic-loop/DES equivalence
+// pin (tests/test_determinism.cpp) relies on.
+//
+// Determinism contract: never derive `time_s` or `key` from the wall
+// clock (std::chrono::*_clock::now() and friends) — simulation order
+// must replay bit-identically run to run.  mosaiq-lint's
+// determinism-flow rule flags pushes and event_tie_break() calls that
+// consume wall-clock state.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+namespace mosaiq::core {
+
+/// Builds the secondary ordering key for an event: ties at equal
+/// timestamps dequeue by ascending (kind, id), then by insertion
+/// order.  Matches the fleet's classic (time, kind, client) tie-break.
+constexpr std::uint64_t event_tie_break(std::uint8_t kind, std::uint32_t id) {
+  return (static_cast<std::uint64_t>(kind) << 32) | id;
+}
+
+class EventQueue {
+ public:
+  struct Entry {
+    double time_s = 0;       ///< exact event time (never quantized)
+    std::uint64_t key = 0;   ///< secondary order, see event_tie_break()
+    std::uint64_t seq = 0;   ///< insertion counter, the FIFO tie-break
+  };
+
+  /// `tick_s` is the level-0 bucket width.  It is a performance knob
+  /// only (ordering never depends on it): pick roughly the shortest
+  /// inter-event spacing so same-bucket heaps stay tiny.
+  explicit EventQueue(double tick_s = 1e-6);
+
+  /// Schedules `key` at `time_s` (negative times clamp to zero; times
+  /// earlier than the last dequeue are served next, immediately).
+  /// Returns the entry's seq, usable as a cancellation handle.
+  std::uint64_t push(double time_s, std::uint64_t key);
+
+  /// Lazily removes a pending entry by the seq push() returned.  Must
+  /// only be called for entries still in the queue; the slot is
+  /// physically reclaimed when the dequeue cursor reaches it.
+  void cancel(std::uint64_t seq);
+
+  /// Removes and returns the minimum (time, key, seq) entry, or
+  /// nullopt when empty.  Successive pops are nondecreasing in that
+  /// triple ordering.
+  std::optional<Entry> pop();
+
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
+  double tick_s() const { return tick_s_; }
+
+  /// Observability: how many entries sit in wheel levels vs the
+  /// overflow calendar (cancelled-but-unreclaimed entries included).
+  std::size_t overflow_size() const { return overflow_entries_; }
+
+ private:
+  static constexpr int kSlotBits = 6;
+  static constexpr std::uint64_t kSlots = 1ull << kSlotBits;    // 64
+  static constexpr int kLevels = 6;                             // 64^6 ticks of horizon
+
+  std::uint64_t tick_of(double time_s) const;
+  void place(const Entry& e);
+  /// Earliest possible tick held by wheel level `i` (kSlots^7 sentinel
+  /// when empty) plus the slot index that bounds it.
+  std::uint64_t level_floor(int i, std::uint64_t* slot_out) const;
+
+  double tick_s_;
+  std::uint64_t cur_tick_ = 0;   ///< tick of the last dequeue (cursor)
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;         ///< entries pushed minus popped/cancelled
+  std::size_t overflow_entries_ = 0;
+
+  /// slots_[0][*] are min-heaps on (time, key, seq); upper levels are
+  /// unsorted bags that cascade downward as the cursor approaches.
+  std::array<std::array<std::vector<Entry>, kSlots>, kLevels> slots_;
+  std::array<std::uint64_t, kLevels> occupied_{};  ///< per-level slot bitmap
+  std::map<std::uint64_t, std::vector<Entry>> overflow_;  ///< tick -> entries
+  /// Cancelled seqs awaiting physical removal.  Membership-only (never
+  /// iterated), so the unordered container cannot leak ordering.
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace mosaiq::core

@@ -59,6 +59,14 @@ struct FleetBatteryConfig {
   bool deaths = true;
 };
 
+/// Which event engine drives the fleet.  Both run the same simulation
+/// body and produce bit-identical FleetOutcome / trace output (pinned
+/// in tests/test_determinism.cpp); they differ only in the pending-
+/// event structure.  Loop uses the classic binary heap; Des uses the
+/// O(1)-amortized hierarchical timer wheel (core/event_queue.hpp),
+/// which is what makes 10^5..10^6-client fleets practical.
+enum class FleetEngine : std::uint8_t { Loop, Des };
+
 struct FleetConfig {
   std::uint32_t clients = 8;
   std::uint32_t queries_per_client = 20;
@@ -85,6 +93,18 @@ struct FleetConfig {
   std::uint32_t replication = 1;
   /// Battery-aware scheme biasing (overrides base.scheme per query).
   SchedulerConfig scheduler;
+
+  /// Event engine selection (see FleetEngine).  The default stays on
+  /// the classic heap; switch to Des for very large fleets.
+  FleetEngine engine = FleetEngine::Loop;
+  /// Zipf-skewed query hotspots: with hotspots > 0 each client draws
+  /// one of `hotspots` SHARED query streams (popularity ~ rank^-theta)
+  /// instead of its own private stream, so a few popular streams are
+  /// asked by most of the fleet and the server's caches see skewed
+  /// cross-client locality.  0 = classic per-client streams.
+  std::uint32_t hotspots = 0;
+  /// Zipf exponent for the hotspot popularity distribution.
+  double zipf_theta = 0.9;
 };
 
 enum class DeathCause : std::uint8_t { Battery, Departure };

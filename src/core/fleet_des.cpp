@@ -1,0 +1,12 @@
+#include "core/fleet_des.hpp"
+
+#include "core/fleet_engine.hpp"
+
+namespace mosaiq::core {
+
+FleetOutcome run_fleet_des(const workload::Dataset& dataset, const SessionConfig& base,
+                           const FleetConfig& fleet) {
+  return fleet_detail::run_fleet_engine<fleet_detail::WheelQueue>(dataset, base, fleet);
+}
+
+}  // namespace mosaiq::core

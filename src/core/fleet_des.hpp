@@ -1,0 +1,23 @@
+// Discrete-event fleet engine: the same simulation as run_fleet()'s
+// classic loop, driven by the hierarchical timer wheel in
+// core/event_queue.hpp instead of a binary heap.
+//
+// Both engines execute one shared body (core/fleet_engine.hpp) and
+// dequeue events in identical (time, kind, id) order, so their
+// FleetOutcome and trace output are bit-identical — pinned in
+// tests/test_determinism.cpp and tests/test_fleet_des.cpp.  The wheel's
+// O(1)-amortized schedule/dequeue is what makes 10^5..10^6-client
+// fleets practical: idle (parked) clients hold no events and cost
+// nothing, and each stage transition is a constant-time bucket insert.
+#pragma once
+
+#include "core/fleet.hpp"
+
+namespace mosaiq::core {
+
+/// Runs the fleet on the timer-wheel event engine regardless of
+/// `fleet.engine`.  run_fleet() dispatches here for FleetEngine::Des.
+FleetOutcome run_fleet_des(const workload::Dataset& dataset, const SessionConfig& base,
+                           const FleetConfig& fleet);
+
+}  // namespace mosaiq::core

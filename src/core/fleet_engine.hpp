@@ -1,0 +1,873 @@
+// Shared fleet simulation body, parameterized over the event-queue
+// policy.
+//
+// The classic loop and the discrete-event (DES) engine are the SAME
+// simulation: one function template, instantiated once with a binary
+// heap (ClassicQueue) and once with the hierarchical timer wheel
+// (WheelQueue).  Because both queues dequeue in identical
+// (time, kind, id) order — see core/event_queue.hpp for the proof that
+// wheel bucketing cannot reorder — every rng draw, fault-model consult,
+// resource grant, and battery settle happens in the same sequence, and
+// the two engines produce bit-identical FleetOutcome and trace output.
+// tests/test_determinism.cpp pins exactly that.
+//
+// This header is internal to core/fleet.cpp and core/fleet_des.cpp;
+// callers use run_fleet() / run_fleet_des() from the public headers.
+#pragma once
+
+#include "core/event_queue.hpp"
+#include "core/fleet.hpp"
+#include "core/query_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <random>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "serial/messages.hpp"
+#include "workload/query_gen.hpp"
+
+namespace mosaiq::core::fleet_detail {
+
+/// One client's per-query communication demands (computed when the
+/// query's client-side work runs).
+struct Demand {
+  double tx_air_s = 0;
+  double rx_air_s = 0;
+  std::uint64_t tx_payload_bytes = 0;  // request payload (for fault re-planning)
+  std::uint64_t rx_payload_bytes = 0;  // response payload (for fault re-planning)
+  bool remote = false;
+  std::vector<std::uint32_t> candidates;  // for refine-at-server schemes
+};
+
+/// One query somebody must answer.  With replication the same unit
+/// sits in several clients' queues; the first completion wins and
+/// every later one is discarded (the server already has the answer).
+struct WorkUnit {
+  rtree::Query query;
+  std::uint32_t origin = 0;       ///< client whose workload generated it
+  bool answered = false;
+  bool lost = false;              ///< permanently unanswerable
+  std::uint32_t live_replicas = 0;  ///< clients currently holding it
+  std::uint32_t reassigns = 0;      ///< re-hands consumed (capped)
+};
+
+struct Client {
+  std::unique_ptr<sim::ClientCpu> cpu;
+  net::Nic nic;
+  std::deque<std::uint32_t> work;  ///< pending unit ids, front = next
+  std::uint32_t current = 0;       ///< unit in flight (valid while active)
+  bool active = false;             ///< a unit is issued and unresolved
+  double ready_at = 0;        ///< when the current stage completes
+  double issue_time = 0;      ///< when the in-flight unit was issued
+  int stage = 0;              ///< progress within the in-flight unit
+  Scheme scheme = Scheme::FullyAtClient;  ///< scheme for the in-flight unit
+  Demand demand;
+  std::vector<double> latencies;
+  std::uint64_t answers = 0;
+  std::uint64_t answers_at_issue = 0;  ///< rollback point for a lost exchange
+  double energy_at_issue_j = 0;        ///< scheduler discharge sampling
+
+  // Client-fault state.
+  sim::Battery battery;
+  bool plugged = false;
+  bool dead = false;
+  bool idle = false;          ///< parked: out of pending work
+  bool wake_pending = false;  ///< a wake event is already queued
+  double parked_since = 0;
+  double departs_at = 0;        ///< scheduled departure (inf = never)
+  double battery_empty_at = -1; ///< first time consume() hit the cutoff
+};
+
+/// kClientStage events drive a client's state machine (and double as
+/// wake-ups for parked clients); kDeparture fires a scheduled churn
+/// departure; kReassign re-hands an orphaned work unit.  With all
+/// client faults disabled only kClientStage events exist and the
+/// ordering reduces to the classic (time, client) tie-break.
+enum : std::uint8_t { kClientStage = 0, kDeparture = 1, kReassign = 2 };
+
+struct Event {
+  double time;
+  std::uint32_t id;  ///< client (stage/departure) or unit (reassign)
+  std::uint8_t kind = kClientStage;
+  bool operator>(const Event& o) const {
+    if (time != o.time) return time > o.time;
+    if (kind != o.kind) return kind > o.kind;
+    return id > o.id;
+  }
+};
+
+/// The classic engine: a binary heap ordered by Event::operator>.
+class ClassicQueue {
+ public:
+  void push(double time_s, std::uint32_t id, std::uint8_t kind) {
+    events_.push(Event{time_s, id, kind});
+  }
+  bool empty() const { return events_.empty(); }
+  Event pop() {
+    const Event e = events_.top();
+    events_.pop();
+    return e;
+  }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+};
+
+/// The DES engine: the O(1)-amortized timer wheel.  The packed
+/// event_tie_break(kind, id) key compares exactly like the heap's
+/// (kind, id) lexicographic order, so dequeues match ClassicQueue's.
+class WheelQueue {
+ public:
+  void push(double time_s, std::uint32_t id, std::uint8_t kind) {
+    wheel_.push(time_s, event_tie_break(kind, id));
+  }
+  bool empty() const { return wheel_.empty(); }
+  Event pop() {
+    const EventQueue::Entry e = *wheel_.pop();
+    return Event{e.time_s, static_cast<std::uint32_t>(e.key & 0xffffffffULL),
+                 static_cast<std::uint8_t>(e.key >> 32)};
+  }
+
+ private:
+  EventQueue wheel_;
+};
+
+/// Normalized Zipf CDF over `n` hotspot ranks: weight(r) ~ (r+1)^-theta.
+/// Clients invert a uniform draw against this to pick a shared query
+/// stream, so a few streams serve most of the fleet.
+inline std::vector<double> zipf_cdf(std::uint32_t n, double theta) {
+  std::vector<double> cdf(n);
+  double sum = 0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    sum += std::pow(static_cast<double>(r) + 1.0, -theta);
+    cdf[r] = sum;
+  }
+  for (double& x : cdf) x /= sum;
+  return cdf;
+}
+
+template <class Queue>
+FleetOutcome run_fleet_engine(const workload::Dataset& dataset, const SessionConfig& base,
+                              const FleetConfig& fleet) {
+  validate_config(base);
+  const double bits_per_s = base.channel.bandwidth_mbps * 1e6;
+  const std::uint64_t ctrl = net::control_bytes(0, base.protocol);
+  const double t_ctrl_s = static_cast<double>(ctrl * 8) / bits_per_s;
+
+  // One seeded fault process for the one shared medium; legs consult it
+  // in event order, which the queue's (time, client) tie-break makes
+  // deterministic.
+  std::optional<net::LinkFaultModel> fault;
+  if (base.fault.enabled()) fault.emplace(base.fault);
+  std::uint32_t degraded = 0;
+  std::uint32_t failed = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  double wasted_tx_j = 0;
+  double wasted_rx_j = 0;
+
+  const bool batteries_on = fleet.battery.enabled;
+  const bool deaths_on = batteries_on && fleet.battery.deaths;
+  const std::uint32_t replication =
+      std::min(std::max(fleet.replication, 1u), std::max(fleet.clients, 1u));
+  // How long the server needs to notice a client went silent: the full
+  // timeout + backoff ladder for a nominal full frame, unanswered.
+  const double t_frame_s =
+      static_cast<double>(base.protocol.mtu_bytes) * 8.0 / bits_per_s;
+  const double t_ack_s =
+      static_cast<double>(base.protocol.header_bytes) * 8.0 / bits_per_s;
+  const double detection_s = net::dead_client_detection_s(t_frame_s + t_ack_s, base.retry);
+  constexpr std::uint32_t kMaxReassigns = 4;
+
+  sim::ServerCpu server(base.server);  // shared: caches see all clients
+  double medium_free = 0;
+  double server_free = 0;
+  double medium_busy = 0;
+  double server_busy = 0;
+
+  // Tracing: one track per client; spans carry the energy delta accrued
+  // by that client's CPU + NIC since its previous span on the track.
+  // The same deltas drain the client's battery, so settle() runs for
+  // every completed activity whether or not a trace is attached.
+  obs::TraceSink* trace = fleet.trace;
+  std::vector<double> mark_j(fleet.clients, 0.0);
+  std::vector<std::uint64_t> mark_cycles(fleet.clients, 0);
+  std::vector<Client> clients(fleet.clients);
+  auto settle = [&](std::uint32_t k, const char* name, double t0, double t1) {
+    Client& c = clients[k];
+    const bool span = trace != nullptr && t1 > t0;
+    // mosaiq-lint: allow(rng-stream-balance) — the only engine in scope is the
+    // per-client provisioning rng below, freshly seeded per client; no shared
+    // stream crosses this early return.
+    if (!span && !batteries_on) return;
+    const double j = c.cpu->energy().total_j() + c.nic.total_joules();
+    const std::uint64_t cyc = c.cpu->busy_cycles();
+    const double delta_j = j - mark_j[k];
+    if (batteries_on && !c.plugged && delta_j > 0) {
+      // The activity's average power sets its Peukert derating.
+      const bool charged = c.battery.consume(delta_j, t1 - t0);
+      if (!charged && deaths_on && c.battery_empty_at < 0) c.battery_empty_at = t1;
+    }
+    if (span) {
+      // mosaiq-lint: allow(unsigned-wrap) — busy_cycles() is cumulative; cyc >= mark_cycles[k]
+      trace->phase(name, t0, t1, delta_j, cyc - mark_cycles[k], k);
+    }
+    mark_j[k] = j;
+    mark_cycles[k] = cyc;
+  };
+
+  // Battery-aware scheduler (server side): built only when asked for,
+  // so disabled fleets never pay the density-grid construction.
+  std::optional<BatteryScheduler> sched;
+  if (fleet.scheduler.enabled) {
+    PlannerEnv env;
+    env.data_at_client = base.placement.data_at_client;
+    env.bandwidth_mbps = base.channel.bandwidth_mbps;
+    env.distance_m = base.channel.distance_m;
+    env.client_mhz = base.client.clock_mhz;
+    env.server_mhz = base.server.clock_mhz;
+    sched.emplace(dataset, env, fleet.scheduler, fleet.clients);
+  }
+
+  // Zipf-skewed hotspots: with fleet.hotspots > 0 each client inverts a
+  // seeded uniform draw against this CDF to pick one of a few SHARED
+  // query streams, so popular streams are asked by many clients at once
+  // (the server's caches see the skewed cross-client locality real
+  // point-of-interest traffic produces).  Empty = classic per-client
+  // streams, bit-identical to every pre-hotspot run.
+  const std::vector<double> hotspot_cdf =
+      fleet.hotspots > 0 ? zipf_cdf(fleet.hotspots, fleet.zipf_theta)
+                         : std::vector<double>{};
+
+  // The shared work-unit pool: client k's own workload first, then
+  // (replication-1) backup copies of its neighbours' units appended
+  // behind it.  Backups whose original was already answered cost
+  // nothing at issue time (the server says "done, skip").
+  std::vector<WorkUnit> units;
+  units.reserve(static_cast<std::size_t>(fleet.clients) * fleet.queries_per_client);
+
+  Queue events;
+  std::uint32_t alive = fleet.clients;
+  std::vector<ClientDeath> deaths;
+  std::uint64_t duplicate_answers = 0;
+  std::uint64_t reassignments = 0;
+
+  for (std::uint32_t k = 0; k < fleet.clients; ++k) {
+    Client& c = clients[k];
+    c.cpu = std::make_unique<sim::ClientCpu>(base.client);
+    c.nic = net::Nic(base.nic_power, base.channel.distance_m);
+    std::uint64_t stream = k;
+    // mosaiq-lint: allow(rng-stream-balance) — the engine lives inside the
+    // branch and is re-seeded from (seed, k) every iteration; skipping it
+    // cannot desynchronize any stream that outlives the branch.
+    if (!hotspot_cdf.empty()) {
+      // Pure function of (workload_seed, k): the hotspot a client asks
+      // is independent of fleet size and event order.
+      std::mt19937_64 rng(fleet.workload_seed * 0x9e3779b97f4a7c15ULL + k);
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      const auto it =
+          std::upper_bound(hotspot_cdf.begin(), hotspot_cdf.end(), uniform(rng));
+      stream = static_cast<std::uint64_t>(it - hotspot_cdf.begin());
+    }
+    workload::QueryGen gen(dataset, fleet.workload_seed * 1000 + stream);
+    for (rtree::Query& q : gen.batch(fleet.query_kind, fleet.queries_per_client)) {
+      const auto id = static_cast<std::uint32_t>(units.size());
+      units.push_back(WorkUnit{std::move(q), k, false, false, 1, 0});
+      c.work.push_back(id);
+    }
+    c.departs_at = net::scheduled_departure_s(fleet.churn, k);
+    // mosaiq-lint: allow(rng-stream-balance) — the engine lives inside the
+    // branch and is re-seeded from (seed, k) every iteration; skipping it
+    // cannot desynchronize any stream that outlives the branch.
+    if (batteries_on) {
+      // Per-client provisioning stream: a pure function of (seed, k),
+      // independent of fleet size and event order.
+      std::mt19937_64 rng(fleet.battery.seed * 0x9e3779b97f4a7c15ULL + k + 1);
+      std::uniform_real_distribution<double> uniform(0.0, 1.0);
+      sim::BatteryConfig pack = fleet.battery.pack;
+      const double spread = std::clamp(fleet.battery.capacity_spread, 0.0, 0.95);
+      pack.capacity_mah *= 1.0 - spread + 2.0 * spread * uniform(rng);
+      const double lo = std::clamp(fleet.battery.min_initial_charge, 0.0, 1.0);
+      const double hi = std::clamp(fleet.battery.max_initial_charge, lo, 1.0);
+      const double charge = lo + (hi - lo) * uniform(rng);
+      c.plugged = uniform(rng) < fleet.battery.plugged_fraction;
+      c.battery = sim::Battery(pack, charge);
+      if (sched) sched->admit(k, c.plugged, charge, pack.rated_joules());
+    }
+    // Clients start staggered by a fraction of the think time so the
+    // first round does not collide artificially.
+    c.ready_at = fleet.think_time_s * static_cast<double>(k) /
+                 std::max(1u, fleet.clients);
+    c.nic.spend(net::NicState::Sleep, c.ready_at);
+    settle(k, "stagger", 0.0, c.ready_at);
+    events.push(c.ready_at, k, kClientStage);
+    if (std::isfinite(c.departs_at)) events.push(c.departs_at, k, kDeparture);
+  }
+  for (std::uint32_t k = 0; replication > 1 && k < fleet.clients; ++k) {
+    for (std::uint32_t j = 1; j < replication; ++j) {
+      const std::uint32_t peer = (k + j) % fleet.clients;
+      for (std::uint32_t i = 0; i < fleet.queries_per_client; ++i) {
+        const std::uint32_t id = peer * fleet.queries_per_client + i;
+        units[id].live_replicas += 1;
+        clients[k].work.push_back(id);
+      }
+    }
+  }
+
+  // Full local execution on client c (the FullyAtClient scheme; also
+  // the degraded fallback when a data-holding client loses the link).
+  auto run_local_full = [&](Client& c, const rtree::Query& q) {
+    const double busy0 = c.cpu->busy_seconds();
+    if (const auto* kq = std::get_if<rtree::KnnQuery>(&q)) {
+      c.answers += dataset.tree.nearest_k(kq->p, kq->k, dataset.store, *c.cpu).size();
+    } else if (const auto* nq = std::get_if<rtree::NNQuery>(&q)) {
+      if (dataset.tree.nearest(nq->p, dataset.store, *c.cpu)) ++c.answers;
+    } else {
+      std::vector<std::uint32_t> cand;
+      std::vector<std::uint32_t> ids;
+      filter_query(dataset, q, *c.cpu, cand);
+      refine_query(dataset, q, cand, *c.cpu, ids);
+      c.answers += ids.size();
+    }
+    return c.cpu->busy_seconds() - busy0;
+  };
+
+  // Client-side w1: compute + protocol-tx; fills in c.demand.
+  auto run_client_work = [&](Client& c, const rtree::Query& q) {
+    c.demand = Demand{};
+    const double busy0 = c.cpu->busy_seconds();
+
+    if (c.scheme == Scheme::FullyAtClient) {
+      return run_local_full(c, q);
+    }
+
+    // Remote schemes: client-side portion + request assembly.
+    serial::QueryRequest req;
+    req.client_has_data = base.placement.data_at_client;
+    req.query = q;
+    if (c.scheme == Scheme::FilterClientRefineServer) {
+      req.op = serial::RemoteOp::RefineOnly;
+      filter_query(dataset, q, *c.cpu, c.demand.candidates);
+      req.candidates = c.demand.candidates;
+    } else {
+      req.op = c.scheme == Scheme::FilterServerRefineClient ? serial::RemoteOp::FilterOnly
+                                                            : serial::RemoteOp::FullQuery;
+    }
+    const net::WireCost tx = net::wire_cost(req.encoded_size(), base.protocol);
+    net::charge_protocol_tx(tx, *c.cpu);
+    c.demand.remote = true;
+    c.demand.tx_payload_bytes = req.encoded_size();
+    c.demand.tx_air_s = static_cast<double>((tx.wire_bytes + ctrl) * 8) / bits_per_s;
+    return c.cpu->busy_seconds() - busy0;
+  };
+
+  // Server-side w2 for client c's in-flight query; returns server
+  // seconds and fills the response airtime.
+  auto run_server_work = [&](Client& c, const rtree::Query& q) {
+    const std::uint64_t s0 = server.cycles();
+    std::vector<std::uint32_t> cand;
+    std::vector<std::uint32_t> ids;
+    std::uint64_t rx_payload = 0;
+
+    if (c.scheme == Scheme::FullyAtServer) {
+      if (const auto* kq = std::get_if<rtree::KnnQuery>(&q)) {
+        for (const auto& r : dataset.tree.nearest_k(kq->p, kq->k, dataset.store, server)) {
+          ids.push_back(r.id);
+        }
+      } else if (const auto* nq = std::get_if<rtree::NNQuery>(&q)) {
+        if (const auto nn = dataset.tree.nearest(nq->p, dataset.store, server)) {
+          ids.push_back(nn->id);
+        }
+      } else {
+        filter_query(dataset, q, server, cand);
+        refine_query(dataset, q, cand, server, ids);
+      }
+      c.answers += ids.size();
+      rx_payload = 4 + ids.size() * (base.placement.data_at_client
+                                         ? 4ull
+                                         : std::uint64_t{rtree::kRecordBytes});
+    } else if (c.scheme == Scheme::FilterClientRefineServer) {
+      refine_query(dataset, q, c.demand.candidates, server, ids);
+      c.answers += ids.size();
+      rx_payload = 4 + ids.size() * (base.placement.data_at_client
+                                         ? 4ull
+                                         : std::uint64_t{rtree::kRecordBytes});
+    } else {  // FilterServerRefineClient
+      filter_query(dataset, q, server, cand);
+      c.demand.candidates = cand;
+      rx_payload = 4 + cand.size() * 4ull;
+    }
+
+    const net::WireCost rx = net::wire_cost(rx_payload, base.protocol);
+    net::charge_protocol_tx(rx, server);
+    c.demand.rx_payload_bytes = rx_payload;
+    c.demand.rx_air_s = static_cast<double>((rx.wire_bytes + ctrl) * 8) / bits_per_s;
+    return static_cast<double>(server.cycles() - s0) / base.server.clock_hz();
+  };
+
+  // Client-side w3: unpack + (for filter@server) local refinement.
+  auto run_client_finish = [&](Client& c, const rtree::Query& q) {
+    const double busy0 = c.cpu->busy_seconds();
+    const net::WireCost rx = net::wire_cost(
+        static_cast<std::uint64_t>(c.demand.rx_air_s * bits_per_s / 8), base.protocol);
+    net::charge_protocol_rx(rx, *c.cpu);
+    if (c.scheme == Scheme::FilterServerRefineClient) {
+      std::vector<std::uint32_t> ids;
+      refine_query(dataset, q, c.demand.candidates, *c.cpu, ids);
+      c.answers += ids.size();
+    }
+    return c.cpu->busy_seconds() - busy0;
+  };
+
+  // --- event loop -------------------------------------------------------
+  // Stages: 0 issue (after think), 1 medium-for-tx, 2 server, 3
+  // medium-for-rx, 4 completion/unpack.
+  double makespan = 0;
+
+  // Drops one replica of unit `u`; when that was the last live copy of
+  // an unanswered unit, re-hand it to a survivor at `when` (the server
+  // only learns of the loss after the timeout ladder) — unless
+  // replication is off, the unit is out of re-hands, or nobody is
+  // left, in which case the unit is lost.
+  std::uint64_t unresolved = units.size();
+  auto release_replica = [&](std::uint32_t u, double when) {
+    WorkUnit& w = units[u];
+    if (w.live_replicas > 0) --w.live_replicas;
+    if (w.answered || w.lost || w.live_replicas > 0) return;
+    if (replication <= 1 || w.reassigns >= kMaxReassigns || alive == 0) {
+      w.lost = true;
+      --unresolved;
+      return;
+    }
+    ++w.reassigns;
+    events.push(when, u, kReassign);
+  };
+
+  // A client goes dark: its in-flight exchange is abandoned (the server
+  // rolls back any answers it counted — the client never heard them),
+  // its queue is orphaned, and the survivors inherit what replication
+  // allows.
+  auto kill_client = [&](std::uint32_t k, double now, DeathCause cause) {
+    Client& c = clients[k];
+    if (c.dead) return;
+    c.dead = true;
+    --alive;
+    deaths.push_back({now, k, cause});
+    if (trace != nullptr) trace->counter("client-deaths", 1);
+    if (c.active) {
+      c.answers = c.answers_at_issue;
+      c.active = false;
+      release_replica(c.current, now + detection_s);
+    }
+    for (const std::uint32_t u : c.work) release_replica(u, now + detection_s);
+    c.work.clear();
+  };
+
+  // Completes the in-flight unit at `done`: first answer wins, later
+  // finishers are rolled back (the server already has the result and
+  // must not count it twice).
+  auto complete_unit = [&](std::uint32_t k, double done) {
+    Client& c = clients[k];
+    WorkUnit& w = units[c.current];
+    const std::uint64_t delta = c.answers - c.answers_at_issue;
+    if (w.answered) {
+      duplicate_answers += delta;
+      if (trace != nullptr && delta > 0) trace->counter("duplicate-answers", delta);
+      c.answers = c.answers_at_issue;
+    } else {
+      w.answered = true;
+      --unresolved;
+      c.latencies.push_back(done - c.issue_time);
+    }
+    if (w.live_replicas > 0) --w.live_replicas;
+    c.active = false;
+    if (sched) {
+      const double spent_j =
+          c.cpu->energy().total_j() + c.nic.total_joules() - c.energy_at_issue_j;
+      sched->observe_draw(k, spent_j, done - c.issue_time);
+    }
+    makespan = std::max(makespan, done);
+  };
+
+  // Schedules the client's next pop: think then issue when work is
+  // pending, otherwise park (a reassignment can wake it later).
+  auto next_or_park = [&](std::uint32_t k, double done) {
+    Client& c = clients[k];
+    c.stage = 0;
+    if (!c.work.empty()) {
+      c.nic.spend(net::NicState::Sleep, fleet.think_time_s);
+      settle(k, "think", done, done + fleet.think_time_s);
+      events.push(done + fleet.think_time_s, k, kClientStage);
+    } else {
+      c.idle = true;
+      c.parked_since = done;
+    }
+  };
+
+  // A leg whose retry budget ran out: the query leaves the network
+  // path.  Data-holding clients re-execute locally (degraded); others
+  // drop the query (failed, no latency sample) — unless replication
+  // can re-hand it to another holder.  Either way the client schedules
+  // its next unit — a dead link must never stall the fleet.
+  auto finish_off_network = [&](std::uint32_t k, double now) {
+    Client& c = clients[k];
+    const rtree::Query& q = units[c.current].query;
+    // Discard answers the server may have counted during this exchange
+    // (stage 2 runs before a downlink loss is known): the client never
+    // received them, and the local re-run below recounts from scratch.
+    c.answers = c.answers_at_issue;
+    double done = now;
+    if (base.placement.data_at_client) {
+      ++degraded;
+      if (trace != nullptr) trace->counter("degraded-queries", 1);
+      const double dt = run_local_full(c, q);
+      c.nic.spend(net::NicState::Sleep, dt);
+      done = now + dt;
+      settle(k, "degraded-local", now, done);
+      complete_unit(k, done);
+    } else {
+      ++failed;
+      if (trace != nullptr) trace->counter("failed-queries", 1);
+      c.active = false;
+      // The timeout ladder already ran inside the transfer plan, so
+      // the server knows NOW that this replica is gone.
+      release_replica(c.current, now);
+      makespan = std::max(makespan, done);
+    }
+    next_or_park(k, done);
+  };
+
+  // Re-hand an orphaned unit to the least-loaded survivor (ties go to
+  // the lowest client id — deterministic).
+  auto handle_reassign = [&](std::uint32_t u, double now) {
+    WorkUnit& w = units[u];
+    if (w.answered || w.lost || w.live_replicas > 0) return;
+    if (alive == 0) {
+      w.lost = true;
+      --unresolved;
+      return;
+    }
+    std::uint32_t best = fleet.clients;
+    std::size_t best_load = 0;
+    for (std::uint32_t k = 0; k < fleet.clients; ++k) {
+      const Client& c = clients[k];
+      if (c.dead) continue;
+      const std::size_t load = c.work.size() + (c.active ? 1 : 0);
+      if (best == fleet.clients || load < best_load) {
+        best = k;
+        best_load = load;
+      }
+    }
+    if (best == fleet.clients) {  // nobody left: the unit is lost
+      w.lost = true;
+      --unresolved;
+      return;
+    }
+    ++w.live_replicas;
+    ++reassignments;
+    if (trace != nullptr) trace->counter("reassignments", 1);
+    Client& c = clients[best];
+    c.work.push_back(u);
+    if (c.idle && !c.wake_pending) {
+      c.wake_pending = true;
+      events.push(std::max(now, c.parked_since), best, kClientStage);
+    }
+  };
+
+  while (!events.empty()) {
+    // Mission over: every unit is answered or lost and nobody is
+    // mid-exchange.  Stop before draining the remaining (departure)
+    // events — a client leaving AFTER the fleet's work is done is
+    // retirement, not a death the survival curve should chart.
+    if (unresolved == 0) {
+      bool quiescent = true;
+      for (const Client& peer : clients) {
+        if (!peer.dead && !peer.idle) {
+          quiescent = false;
+          break;
+        }
+      }
+      if (quiescent) break;
+    }
+    const Event ev = events.pop();
+    if (ev.kind == kReassign) {
+      handle_reassign(ev.id, ev.time);
+      continue;
+    }
+    Client& c = clients[ev.id];
+    if (c.dead) continue;  // stale event for a departed client
+    if (c.battery_empty_at >= 0) {
+      kill_client(ev.id, c.battery_empty_at, DeathCause::Battery);
+      continue;
+    }
+    if (ev.kind == kDeparture || ev.time >= c.departs_at) {
+      kill_client(ev.id, c.departs_at, DeathCause::Departure);
+      continue;
+    }
+    if (c.idle) {
+      // Wake-up from a reassignment: account the parked stretch, then
+      // fall through to issue.
+      c.wake_pending = false;
+      if (c.work.empty()) continue;  // answered in the meantime
+      c.nic.spend(net::NicState::Sleep, ev.time - c.parked_since);
+      settle(ev.id, "parked", c.parked_since, ev.time);
+      c.idle = false;
+      c.stage = 0;
+    }
+
+    switch (c.stage) {
+      case 0: {
+        // Units answered by another replica are skipped for free: the
+        // issue handshake learns "already done" before any work runs.
+        while (!c.work.empty() && units[c.work.front()].answered) {
+          release_replica(c.work.front(), ev.time);
+          c.work.pop_front();
+        }
+        if (c.work.empty()) {
+          c.idle = true;
+          c.parked_since = ev.time;
+          break;
+        }
+        c.current = c.work.front();
+        c.work.pop_front();
+        c.active = true;
+        const rtree::Query& q = units[c.current].query;
+        c.issue_time = ev.time;
+        c.answers_at_issue = c.answers;
+        c.energy_at_issue_j = c.cpu->energy().total_j() + c.nic.total_joules();
+        if (sched) {
+          // The request piggybacks the current charge; the server
+          // answers with the scheme, spending its own cycles on the
+          // planner probe (the decision moved off-device).
+          sched->report_charge(ev.id, batteries_on ? c.battery.remaining_fraction() : 1.0);
+          c.scheme = sched->choose(ev.id, q, server);
+        } else {
+          c.scheme = base.scheme;
+        }
+        const double dt = run_client_work(c, q);
+        c.nic.spend(net::NicState::Sleep, dt);
+        settle(ev.id, "w1-compute", ev.time, ev.time + dt);
+        if (!c.demand.remote) {
+          // Fully at client: the query is done.
+          complete_unit(ev.id, ev.time + dt);
+          next_or_park(ev.id, ev.time + dt);
+          break;
+        }
+        c.stage = 1;
+        events.push(ev.time + dt, ev.id, kClientStage);
+        break;
+      }
+      case 1: {  // claim the medium for the uplink
+        const double start = std::max(ev.time, medium_free) + c.nic.sleep_exit();
+        if (fault) {
+          const net::TransferPlan plan = net::plan_transfer(
+              *fault, c.demand.tx_payload_bytes, base.protocol.mtu_bytes,
+              base.protocol.header_bytes, bits_per_s, base.retry, start);
+          const double tx_air_s = plan.air_s + t_ctrl_s;
+          const double end = start + tx_air_s + plan.wait_s;
+          medium_free = end;  // the retransmission episode holds the channel
+          medium_busy += tx_air_s;
+          c.nic.spend(net::NicState::Idle, start - ev.time);
+          settle(ev.id, "medium-wait", ev.time, start);
+          if (trace != nullptr) trace->counter("medium-wait-s", start - ev.time);
+          c.nic.spend(net::NicState::Transmit, tx_air_s);
+          c.nic.spend(net::NicState::Idle, plan.wait_s);
+          c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+          settle(ev.id, "tx", start, end);
+          retransmissions += plan.retransmissions;
+          timeouts += plan.timeouts;
+          const double leg_wasted_j =
+              1e-3 * c.nic.power().tx_mw(c.nic.distance_m()) * plan.wasted_air_s;
+          wasted_tx_j += leg_wasted_j;
+          if (trace != nullptr && plan.timeouts > 0) {
+            trace->counter("retransmissions", plan.retransmissions);
+            trace->counter("timeouts", plan.timeouts);
+            trace->counter("wasted-tx-j", leg_wasted_j);
+          }
+          if (!plan.delivered) {
+            finish_off_network(ev.id, end);
+            break;
+          }
+          c.stage = 2;
+          events.push(end, ev.id, kClientStage);
+          break;
+        }
+        const double end = start + c.demand.tx_air_s;
+        medium_free = end;
+        medium_busy += c.demand.tx_air_s;
+        c.nic.spend(net::NicState::Idle, start - ev.time);
+        settle(ev.id, "medium-wait", ev.time, start);
+        if (trace != nullptr) trace->counter("medium-wait-s", start - ev.time);
+        c.nic.spend(net::NicState::Transmit, c.demand.tx_air_s);
+        c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+        settle(ev.id, "tx", start, end);
+        c.stage = 2;
+        events.push(end, ev.id, kClientStage);
+        break;
+      }
+      case 2: {  // claim the server
+        const double start = std::max(ev.time, server_free);
+        settle(ev.id, "server-queue", ev.time, start);
+        if (trace != nullptr) trace->counter("server-queue-wait-s", start - ev.time);
+        const double dt = run_server_work(c, units[c.current].query);
+        const double end = start + dt;
+        server_free = end;
+        server_busy += dt;
+        c.nic.spend(net::NicState::Idle, end - ev.time);
+        c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+        settle(ev.id, "server-work", start, end);
+        c.stage = 3;
+        events.push(end, ev.id, kClientStage);
+        break;
+      }
+      case 3: {  // claim the medium for the downlink
+        const double start = std::max(ev.time, medium_free);
+        if (fault) {
+          const net::TransferPlan plan = net::plan_transfer(
+              *fault, c.demand.rx_payload_bytes, base.protocol.mtu_bytes,
+              base.protocol.header_bytes, bits_per_s, base.retry, start);
+          const double rx_air_s = plan.air_s + t_ctrl_s;
+          const double end = start + rx_air_s + plan.wait_s;
+          medium_free = end;
+          medium_busy += rx_air_s;
+          c.nic.spend(net::NicState::Idle, start - ev.time);
+          settle(ev.id, "medium-wait", ev.time, start);
+          if (trace != nullptr) trace->counter("medium-wait-s", start - ev.time);
+          c.nic.spend(net::NicState::Receive, rx_air_s);
+          c.nic.spend(net::NicState::Idle, plan.wait_s);
+          c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+          settle(ev.id, "rx", start, end);
+          retransmissions += plan.retransmissions;
+          timeouts += plan.timeouts;
+          const double leg_wasted_j = 1e-3 * c.nic.power().rx_mw * plan.wasted_air_s;
+          wasted_rx_j += leg_wasted_j;
+          if (trace != nullptr && plan.timeouts > 0) {
+            trace->counter("retransmissions", plan.retransmissions);
+            trace->counter("timeouts", plan.timeouts);
+            trace->counter("wasted-rx-j", leg_wasted_j);
+          }
+          if (!plan.delivered) {
+            finish_off_network(ev.id, end);
+            break;
+          }
+          c.stage = 4;
+          events.push(end, ev.id, kClientStage);
+          break;
+        }
+        const double end = start + c.demand.rx_air_s;
+        medium_free = end;
+        medium_busy += c.demand.rx_air_s;
+        c.nic.spend(net::NicState::Idle, start - ev.time);
+        settle(ev.id, "medium-wait", ev.time, start);
+        if (trace != nullptr) trace->counter("medium-wait-s", start - ev.time);
+        c.nic.spend(net::NicState::Receive, c.demand.rx_air_s);
+        c.cpu->wait_seconds(end - ev.time, base.wait_policy);
+        settle(ev.id, "rx", start, end);
+        c.stage = 4;
+        events.push(end, ev.id, kClientStage);
+        break;
+      }
+      case 4: {  // unpack / refine locally, complete
+        const double dt = run_client_finish(c, units[c.current].query);
+        c.nic.spend(net::NicState::Sleep, dt);
+        const double done = ev.time + dt;
+        settle(ev.id, "w3-unpack", ev.time, done);
+        complete_unit(ev.id, done);
+        next_or_park(ev.id, done);
+        break;
+      }
+      default: break;
+    }
+
+    // A battery that hit the cutoff during this stage kills the client
+    // now, so its queue is orphaned at the death time rather than at
+    // whenever its next event would have popped.
+    if (!c.dead && c.battery_empty_at >= 0) {
+      kill_client(ev.id, c.battery_empty_at, DeathCause::Battery);
+    }
+  }
+
+  // --- aggregate ----------------------------------------------------------
+  FleetOutcome out;
+  out.makespan_s = makespan;
+  std::vector<double> all;
+  double energy = 0;
+  for (const Client& c : clients) {
+    all.insert(all.end(), c.latencies.begin(), c.latencies.end());
+    const double client_j = c.cpu->energy().total_j() + c.nic.total_joules();
+    out.client_energy_j.push_back(client_j);
+    energy += client_j;
+    out.answers += c.answers;
+  }
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    double sum = 0;
+    for (const double l : all) sum += l;
+    out.mean_latency_s = sum / static_cast<double>(all.size());
+    out.p95_latency_s = all[static_cast<std::size_t>(0.95 * (all.size() - 1))];
+  }
+  out.mean_client_energy_j = energy / std::max<std::size_t>(1, clients.size());
+  if (makespan > 0) {
+    out.medium_utilization = medium_busy / makespan;
+    out.server_utilization = server_busy / makespan;
+  }
+  out.queries_degraded = degraded;
+  out.queries_failed = failed;
+  out.retransmissions = retransmissions;
+  out.timeouts = timeouts;
+  out.wasted_tx_j = wasted_tx_j;
+  out.wasted_rx_j = wasted_rx_j;
+
+  out.clients_alive = alive;
+  std::sort(deaths.begin(), deaths.end(),
+            [](const ClientDeath& a, const ClientDeath& b) {
+              return a.time_s != b.time_s ? a.time_s < b.time_s : a.client < b.client;
+            });
+  for (const ClientDeath& d : deaths) {
+    (d.cause == DeathCause::Battery ? out.deaths_battery : out.deaths_departed) += 1;
+  }
+  out.deaths = std::move(deaths);
+  out.units_total = units.size();
+  for (const WorkUnit& w : units) out.units_answered += w.answered ? 1 : 0;
+  out.units_lost = out.units_total - out.units_answered;
+  out.duplicate_answers = duplicate_answers;
+  out.reassignments = reassignments;
+  out.answer_completeness =
+      out.units_total > 0
+          ? static_cast<double>(out.units_answered) / static_cast<double>(out.units_total)
+          : 1.0;
+  // Jain's index over per-client energy: (sum x)^2 / (n * sum x^2).
+  double sum_j = 0;
+  double sum_sq = 0;
+  for (const double x : out.client_energy_j) {
+    sum_j += x;
+    sum_sq += x * x;
+  }
+  out.energy_fairness =
+      sum_sq > 0 ? sum_j * sum_j /
+                       (static_cast<double>(out.client_energy_j.size()) * sum_sq)
+                 : 1.0;
+  // Fleet-health summary counters for --metrics-out.  Gated on the
+  // robustness extensions so the classic fleet's metrics export stays
+  // byte-identical.
+  if (trace != nullptr &&
+      (batteries_on || fleet.churn.enabled() || replication > 1 || sched)) {
+    trace->counter("fleet-clients-alive", out.clients_alive);
+    trace->counter("fleet-units-lost", static_cast<double>(out.units_lost));
+    trace->counter("fleet-duplicate-answers", static_cast<double>(out.duplicate_answers));
+    trace->counter("fleet-answer-completeness", out.answer_completeness);
+    trace->counter("fleet-energy-fairness", out.energy_fairness);
+  }
+  return out;
+}
+
+}  // namespace mosaiq::core::fleet_detail

@@ -1,0 +1,15 @@
+// Fixture: determinism-flow (e) negatives — event times derived from
+// simulated time and tie-break keys built from stable (kind, id) pairs.
+#include <cstdint>
+
+struct EventQueue {
+  std::uint64_t push(double time_s, std::uint64_t key);
+};
+
+std::uint64_t event_tie_break(std::uint8_t kind, std::uint32_t id);
+
+void schedule(EventQueue& pending, double sim_now_s, std::uint32_t client) {
+  EventQueue events;
+  events.push(sim_now_s + 0.25, event_tie_break(0, client));  // OK: sim time, stable key
+  pending.push(sim_now_s, event_tie_break(1, client));        // OK
+}

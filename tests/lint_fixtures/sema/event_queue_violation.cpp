@@ -1,0 +1,22 @@
+// Fixture: determinism-flow (e) — wall-clock times and keys flowing
+// into the event queue.  EventQueue dequeues in exact (time, key, seq)
+// order, so a clocky push time or tie-break key makes the simulation
+// replay differently every run.
+#include <chrono>
+#include <cstdint>
+
+struct EventQueue {
+  std::uint64_t push(double time_s, std::uint64_t key);
+};
+
+std::uint64_t event_tie_break(std::uint8_t kind, std::uint32_t id);
+
+void schedule(EventQueue& pending) {
+  EventQueue events;
+  events.push(  // BAD: wall-clock event time
+      std::chrono::system_clock::now().time_since_epoch().count() * 1e-9, 7);
+  const std::uint64_t key = event_tie_break(  // BAD: clocky tie-break key
+      0, static_cast<std::uint32_t>(
+             std::chrono::steady_clock::now().time_since_epoch().count()));
+  pending.push(1.5, key);
+}

@@ -277,6 +277,140 @@ TEST(Determinism, FleetChurnReplicationBitIdentical) {
   EXPECT_GT(a.units_total, 0u);
 }
 
+/// Every FleetOutcome field compared as bits (doubles) or exact values,
+/// including the death log and per-client energy vectors.
+void expect_fleet_bit_identical(const core::FleetOutcome& a, const core::FleetOutcome& b) {
+  expect_bits(a.makespan_s, b.makespan_s, "makespan_s");
+  expect_bits(a.mean_latency_s, b.mean_latency_s, "mean_latency_s");
+  expect_bits(a.p95_latency_s, b.p95_latency_s, "p95_latency_s");
+  expect_bits(a.mean_client_energy_j, b.mean_client_energy_j, "mean_client_energy_j");
+  expect_bits(a.medium_utilization, b.medium_utilization, "medium_utilization");
+  expect_bits(a.server_utilization, b.server_utilization, "server_utilization");
+  EXPECT_EQ(a.answers, b.answers);
+  EXPECT_EQ(a.queries_degraded, b.queries_degraded);
+  EXPECT_EQ(a.queries_failed, b.queries_failed);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  expect_bits(a.wasted_tx_j, b.wasted_tx_j, "wasted_tx_j");
+  expect_bits(a.wasted_rx_j, b.wasted_rx_j, "wasted_rx_j");
+  EXPECT_EQ(a.clients_alive, b.clients_alive);
+  EXPECT_EQ(a.deaths_battery, b.deaths_battery);
+  EXPECT_EQ(a.deaths_departed, b.deaths_departed);
+  EXPECT_EQ(a.units_total, b.units_total);
+  EXPECT_EQ(a.units_answered, b.units_answered);
+  EXPECT_EQ(a.units_lost, b.units_lost);
+  EXPECT_EQ(a.duplicate_answers, b.duplicate_answers);
+  EXPECT_EQ(a.reassignments, b.reassignments);
+  expect_bits(a.energy_fairness, b.energy_fairness, "energy_fairness");
+  expect_bits(a.answer_completeness, b.answer_completeness, "answer_completeness");
+  ASSERT_EQ(a.deaths.size(), b.deaths.size());
+  for (std::size_t i = 0; i < a.deaths.size(); ++i) {
+    expect_bits(a.deaths[i].time_s, b.deaths[i].time_s, "death time");
+    EXPECT_EQ(a.deaths[i].client, b.deaths[i].client);
+    EXPECT_EQ(a.deaths[i].cause, b.deaths[i].cause);
+  }
+  ASSERT_EQ(a.client_energy_j.size(), b.client_energy_j.size());
+  for (std::size_t k = 0; k < a.client_energy_j.size(); ++k) {
+    expect_bits(a.client_energy_j[k], b.client_energy_j[k], "client_energy_j");
+  }
+}
+
+/// The DES rewrite's contract (ISSUE 10): the classic heap loop and the
+/// timer-wheel engine are the SAME simulation.  Three small-fleet
+/// configs with batteries, churn, replication — and, in one config,
+/// link faults — must agree bit-for-bit on every FleetOutcome field,
+/// every trace byte, and every metrics byte across engines.
+TEST(Determinism, ClassicVsDesFleetBitIdentical) {
+  struct Scenario {
+    const char* label;
+    core::SessionConfig cfg;
+    core::FleetConfig fleet;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    // 1. The full robustness stack: batteries, churn, replication 2,
+    // battery-aware scheduler.
+    Scenario s{"robust-stack", config(core::Scheme::FullyAtServer), {}};
+    s.fleet.clients = 8;
+    s.fleet.queries_per_client = 8;
+    s.fleet.think_time_s = 0.3;
+    s.fleet.battery.enabled = true;
+    s.fleet.battery.pack.capacity_mah = 0.1;
+    s.fleet.battery.min_initial_charge = 0.02;
+    s.fleet.battery.max_initial_charge = 0.2;
+    s.fleet.churn.departure_rate_per_s = 0.12;
+    s.fleet.churn.seed = 7;
+    s.fleet.replication = 2;
+    s.fleet.scheduler.enabled = true;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // 2. Link faults on top of client faults: the bursty-loss RNG, the
+    // retry ladder, and degraded/failed exchanges must replay in the
+    // same order under both queues.
+    Scenario s{"link-faults", config(core::Scheme::FilterServerRefineClient), {}};
+    s.cfg.fault = net::bursty_loss_config(0.3, /*seed=*/5);
+    s.cfg.retry.retry_budget = 3;
+    s.fleet.clients = 6;
+    s.fleet.queries_per_client = 12;
+    s.fleet.think_time_s = 0.6;
+    s.fleet.battery.enabled = true;
+    s.fleet.battery.pack.capacity_mah = 0.05;
+    s.fleet.battery.min_initial_charge = 0.02;
+    s.fleet.battery.max_initial_charge = 0.2;
+    s.fleet.battery.plugged_fraction = 0.25;
+    s.fleet.churn.departure_rate_per_s = 0.15;
+    s.fleet.churn.seed = 3;
+    s.fleet.replication = 3;
+    scenarios.push_back(std::move(s));
+  }
+  {
+    // 3. Zipf hotspots with churn + replication: the shared-stream
+    // draw is part of the engine-independent setup.
+    Scenario s{"zipf-hotspots", config(core::Scheme::FullyAtServer), {}};
+    s.fleet.clients = 12;
+    s.fleet.queries_per_client = 4;
+    s.fleet.think_time_s = 0.15;
+    s.fleet.hotspots = 4;
+    s.fleet.zipf_theta = 1.0;
+    s.fleet.battery.enabled = true;
+    s.fleet.battery.pack.capacity_mah = 0.12;
+    s.fleet.battery.min_initial_charge = 0.03;
+    s.fleet.battery.max_initial_charge = 0.25;
+    s.fleet.churn.departure_rate_per_s = 0.1;
+    s.fleet.churn.seed = 11;
+    s.fleet.replication = 2;
+    scenarios.push_back(std::move(s));
+  }
+
+  for (Scenario& s : scenarios) {
+    auto run = [&](core::FleetEngine engine) {
+      obs::TraceSink trace;
+      core::FleetConfig fleet = s.fleet;
+      fleet.engine = engine;
+      fleet.trace = &trace;
+      RunResult r;
+      const core::FleetOutcome o = core::run_fleet(data(), s.cfg, fleet);
+      std::ostringstream tj;
+      obs::write_chrome_trace(tj, trace);
+      r.trace_json = tj.str();
+      std::ostringstream mc;
+      obs::write_metrics(mc, trace, nullptr);
+      r.metrics_csv = mc.str();
+      return std::pair<core::FleetOutcome, RunResult>(o, std::move(r));
+    };
+    const auto [loop_out, loop_run] = run(core::FleetEngine::Loop);
+    const auto [des_out, des_run] = run(core::FleetEngine::Des);
+    SCOPED_TRACE(s.label);
+    expect_fleet_bit_identical(loop_out, des_out);
+    EXPECT_EQ(loop_run.trace_json, des_run.trace_json);
+    EXPECT_EQ(loop_run.metrics_csv, des_run.metrics_csv);
+    // The scenario exercises what it claims to pin.
+    EXPECT_GT(loop_out.deaths.size(), 0u) << s.label;
+    EXPECT_GT(loop_out.units_total, 0u) << s.label;
+  }
+}
+
 /// A cache-held build must be indistinguishable from a direct
 /// make_pa(): the memoization layer may never change the artifact.
 TEST(Determinism, BuildCacheMatchesDirectBuild) {

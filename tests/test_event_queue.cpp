@@ -1,0 +1,210 @@
+// Property tests for the hierarchical timer wheel (core/event_queue.hpp).
+//
+// The fleet's classic-loop/DES equivalence rests on one claim: the
+// wheel dequeues in exactly nondecreasing (time, key, seq) order — the
+// same order as a binary min-heap over the same triples.  These tests
+// check that claim against an obviously-correct reference model (a
+// linear-scan min over the live entries) under randomized seeded
+// insert/cancel/pop workloads that cover every structural path: level-0
+// heaps, upper-level cascades, the calendar overflow, past-time clamps,
+// lazy cancellation, and exact-tie FIFO.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/event_queue.hpp"
+
+namespace mosaiq::core {
+namespace {
+
+struct Ref {
+  double time_s;
+  std::uint64_t key;
+  std::uint64_t seq;
+};
+
+bool ref_less(const Ref& a, const Ref& b) {
+  if (a.time_s != b.time_s) return a.time_s < b.time_s;
+  if (a.key != b.key) return a.key < b.key;
+  return a.seq < b.seq;
+}
+
+/// The reference model: unordered storage, pop = linear-scan minimum.
+/// Slow and trivially correct.
+class RefQueue {
+ public:
+  void push(double time_s, std::uint64_t key, std::uint64_t seq) {
+    live_.push_back({time_s, key, seq});
+  }
+  void cancel(std::uint64_t seq) {
+    std::erase_if(live_, [&](const Ref& r) { return r.seq == seq; });
+  }
+  bool empty() const { return live_.empty(); }
+  std::size_t size() const { return live_.size(); }
+  Ref pop() {
+    const auto it = std::min_element(live_.begin(), live_.end(), ref_less);
+    const Ref r = *it;
+    live_.erase(it);
+    return r;
+  }
+
+ private:
+  std::vector<Ref> live_;
+};
+
+void expect_same(const EventQueue::Entry& got, const Ref& want) {
+  // Times compare as bit patterns: the wheel must hand back the exact
+  // double it was given, never a quantized tick.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(got.time_s),
+            std::bit_cast<std::uint64_t>(want.time_s));
+  EXPECT_EQ(got.key, want.key);
+  EXPECT_EQ(got.seq, want.seq);
+}
+
+/// Drives wheel and model through one seeded interleaving of pushes
+/// (mixed time scales, deliberate exact ties), cancels, and pops, then
+/// drains both and checks the dequeue sequence is identical and
+/// nondecreasing in (time, key, seq).
+void random_workload(std::uint64_t seed, double tick_s, int steps) {
+  EventQueue q(tick_s);
+  RefQueue ref;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<std::uint64_t> live_seqs;
+  bool saw_overflow = false;
+  double horizon = 0.0;  // last dequeued time
+
+  for (int step = 0; step < steps; ++step) {
+    const double r = u(rng);
+    if (r < 0.55) {
+      double t;
+      const double scale = u(rng);
+      if (scale < 0.45) {
+        t = horizon + u(rng) * 1e-3;  // near the cursor: level 0/1
+      } else if (scale < 0.75) {
+        t = horizon + u(rng) * 30.0;  // mid horizon: upper levels
+      } else if (scale < 0.85) {
+        // Beyond the wheel horizon (64^6 ticks), whatever the tick is.
+        t = horizon + tick_s * (1e11 + u(rng) * 1e12);
+      } else {
+        t = horizon;  // exact tie: the FIFO path
+      }
+      const auto key = static_cast<std::uint64_t>(u(rng) * 4.0);  // few keys => key ties
+      const std::uint64_t seq = q.push(t, key);
+      ref.push(t, key, seq);
+      live_seqs.push_back(seq);
+    } else if (r < 0.70 && !live_seqs.empty()) {
+      const auto i =
+          static_cast<std::size_t>(u(rng) * static_cast<double>(live_seqs.size())) %
+          live_seqs.size();
+      const std::uint64_t seq = live_seqs[i];
+      live_seqs.erase(live_seqs.begin() + static_cast<std::ptrdiff_t>(i));
+      q.cancel(seq);
+      ref.cancel(seq);
+      ASSERT_EQ(q.size(), ref.size());
+    } else if (!ref.empty()) {
+      const auto got = q.pop();
+      ASSERT_TRUE(got.has_value());
+      expect_same(*got, ref.pop());
+      std::erase(live_seqs, got->seq);
+      horizon = std::max(horizon, got->time_s);
+    }
+    saw_overflow = saw_overflow || q.overflow_size() > 0;
+  }
+
+  // Drain both; the tail must stay identical and nondecreasing.
+  EventQueue::Entry prev{-1.0, 0, 0};
+  while (!ref.empty()) {
+    const auto got = q.pop();
+    ASSERT_TRUE(got.has_value());
+    expect_same(*got, ref.pop());
+    const bool nondecreasing =
+        got->time_s > prev.time_s ||
+        (got->time_s == prev.time_s &&
+         (got->key > prev.key || (got->key == prev.key && got->seq > prev.seq)));
+    EXPECT_TRUE(nondecreasing) << "pop went backwards at seq " << got->seq;
+    prev = *got;
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(saw_overflow) << "workload never reached the calendar overflow";
+}
+
+TEST(EventQueue, RandomizedInsertCancelMatchesReferenceModel) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 2003ULL}) {
+    random_workload(seed, /*tick_s=*/1e-6, /*steps=*/4000);
+  }
+}
+
+TEST(EventQueue, CoarseTickKeepsExactOrder) {
+  // A deliberately huge bucket (0.5 s) forces many distinct times into
+  // one slot heap: ordering must not degrade to tick granularity.
+  random_workload(/*seed=*/13, /*tick_s=*/0.5, /*steps=*/3000);
+}
+
+TEST(EventQueue, EqualTimeAndKeyDequeueFifo) {
+  EventQueue q;
+  std::vector<std::uint64_t> seqs;
+  for (int i = 0; i < 200; ++i) seqs.push_back(q.push(1.0, /*key=*/3));
+  for (const std::uint64_t expected : seqs) {
+    const auto e = q.pop();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->seq, expected);  // strict insertion order
+  }
+}
+
+TEST(EventQueue, PastPushesServeNextInExactTimeOrder) {
+  EventQueue q;
+  q.push(10.0, 0);
+  ASSERT_TRUE(q.pop().has_value());  // cursor now at t=10
+  // Events behind the cursor (a death backdated to the stage that
+  // caused it) are legal and serve next, ordered among themselves.
+  q.push(7.0, 1);
+  q.push(5.0, 2);
+  q.push(10.5, 0);
+  EXPECT_EQ(q.pop()->key, 2u);   // t=5 first
+  EXPECT_EQ(q.pop()->key, 1u);   // then t=7
+  EXPECT_EQ(q.pop()->key, 0u);   // then the future one
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FarFutureLandsInOverflowAndStillOrders) {
+  EventQueue q(1e-6);  // wheel horizon ~= 64^6 us ~= 19 h of sim time
+  q.push(1e9, 1);
+  q.push(2e5, 0);
+  q.push(0.5, 9);
+  EXPECT_GT(q.overflow_size(), 0u);
+  EXPECT_EQ(q.pop()->key, 9u);
+  EXPECT_EQ(q.pop()->key, 0u);
+  EXPECT_EQ(q.pop()->key, 1u);
+  EXPECT_EQ(q.overflow_size(), 0u);
+}
+
+TEST(EventQueue, CancelledEntriesNeverSurface) {
+  EventQueue q;
+  const std::uint64_t a = q.push(1.0, 0);
+  const std::uint64_t b = q.push(2.0, 0);
+  const std::uint64_t far = q.push(1e8, 0);  // parked in the overflow
+  q.cancel(a);
+  q.cancel(far);
+  EXPECT_EQ(q.size(), 1u);
+  const auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->seq, b);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, TieBreakHelperPacksKindAboveId) {
+  // kind is the major key, id the minor — the classic fleet ordering.
+  EXPECT_LT(event_tie_break(0, 0xffffffffu), event_tie_break(1, 0));
+  EXPECT_LT(event_tie_break(1, 5), event_tie_break(1, 6));
+  EXPECT_EQ(event_tie_break(2, 7), (std::uint64_t{2} << 32) | 7u);
+}
+
+}  // namespace
+}  // namespace mosaiq::core

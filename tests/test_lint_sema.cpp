@@ -94,6 +94,19 @@ TEST(LintDeterminismFlow, SeededSortedAndKeyedPass) {
   EXPECT_TRUE(drive({"sema/determinism_flow_clean.cpp"}, {"determinism-flow"}).empty());
 }
 
+TEST(LintDeterminismFlow, FlagsWallClockFlowingIntoEventQueue) {
+  const auto fs = drive({"sema/event_queue_violation.cpp"}, {"determinism-flow"});
+  const auto lines = lines_of(fs, "determinism-flow");
+  ASSERT_EQ(lines.size(), 2u) << mosaiq::lint::format_human(fs);
+  EXPECT_EQ(lines[0], 16u);  // wall-clock time pushed into an EventQueue
+  EXPECT_EQ(lines[1], 18u);  // clocky event_tie_break key
+  EXPECT_NE(fs[0].message.find("simulated time"), std::string::npos) << fs[0].message;
+}
+
+TEST(LintDeterminismFlow, SimTimeAndStableTieBreakKeysPass) {
+  EXPECT_TRUE(drive({"sema/event_queue_clean.cpp"}, {"determinism-flow"}).empty());
+}
+
 TEST(LintUnitFlow, FlagsDimensionMismatchesInQuantityDirs) {
   const auto fs = drive({"sim/unit_flow_violation.cpp"}, {"unit-flow"});
   const auto lines = lines_of(fs, "unit-flow");

@@ -230,6 +230,59 @@ void register_all_benchmarks() {
     return o.units_answered + o.answers;
   });
 
+  // --- discrete-event fleet engine ------------------------------------
+  add("fleet_des/churn_replicated", [] { data(); }, [] {
+    // fleet/churn_replicated on the timer wheel: same simulation,
+    // bit-identical outcome, different pending-event structure.
+    core::FleetConfig fleet;
+    fleet.engine = core::FleetEngine::Des;
+    fleet.clients = 8;
+    fleet.queries_per_client = 4;
+    fleet.think_time_s = 0.1;
+    fleet.battery.enabled = true;
+    fleet.battery.pack.capacity_mah = 0.1;
+    fleet.battery.min_initial_charge = 0.05;
+    fleet.battery.max_initial_charge = 0.5;
+    fleet.churn.departure_rate_per_s = 0.1;
+    fleet.churn.seed = 7;
+    fleet.replication = 2;
+    fleet.scheduler.enabled = true;
+    const core::FleetOutcome o =
+        core::run_fleet(data(), session_config(core::Scheme::FullyAtServer), fleet);
+    return o.units_answered + o.answers;
+  });
+
+  add("fleet_des/step_100k", [] { data(); }, [] {
+    // The wheel's reason to exist: 100k clients, one point query each,
+    // all contending for the one medium and server.
+    core::FleetConfig fleet;
+    fleet.engine = core::FleetEngine::Des;
+    fleet.clients = 100000;
+    fleet.queries_per_client = 1;
+    fleet.think_time_s = 0.05;
+    fleet.query_kind = rtree::QueryKind::Point;
+    const core::FleetOutcome o =
+        core::run_fleet(data(), session_config(core::Scheme::FullyAtServer), fleet);
+    return o.units_answered;
+  });
+
+  add("fleet_des/zipf_hotspots_100k", [] { data(); }, [] {
+    // 100k clients drawing from 1000 Zipf-skewed shared query streams:
+    // the server's caches see the popularity skew real point-of-
+    // interest traffic produces.
+    core::FleetConfig fleet;
+    fleet.engine = core::FleetEngine::Des;
+    fleet.clients = 100000;
+    fleet.queries_per_client = 1;
+    fleet.think_time_s = 0.05;
+    fleet.query_kind = rtree::QueryKind::Point;
+    fleet.hotspots = 1000;
+    fleet.zipf_theta = 0.9;
+    const core::FleetOutcome o =
+        core::run_fleet(data(), session_config(core::Scheme::FullyAtServer), fleet);
+    return o.units_answered;
+  });
+
   // --- the perf substrate itself --------------------------------------
   add("perf/parallel_map", {}, [] {
     const auto out = stats::parallel_map<std::uint64_t>(512, [](std::size_t i) {

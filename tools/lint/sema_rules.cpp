@@ -586,6 +586,44 @@ void check_determinism_flow(const Sema& s, const CrossIndex& ix, std::vector<Fin
                        "nondeterministic order; sort it before it feeds accounting, "
                        "traces, or output"});
   }
+
+  // (e) the event queue's determinism contract: EventQueue dequeues in
+  // exact (time, key, seq) order, so a push whose time or tie-break key
+  // derives from the wall clock makes the whole simulation replay
+  // differently.  Flag clocky arguments flowing into EventQueue::push
+  // or the event_tie_break() key builder.
+  std::set<std::string> event_queues;
+  for (std::size_t k = 0; k + 1 < f.code.size(); ++k) {
+    if (is_ident(f, k, "EventQueue")) {
+      std::size_t n = k + 1;  // skip ref/pointer/const between type and name
+      while (n < f.code.size() &&
+             (is_punct(f, n, "&") || is_punct(f, n, "*") || is_ident(f, n, "const")))
+        ++n;
+      if (n < f.code.size() && is_ident(f, n)) event_queues.insert(tok(f, n).text);
+    }
+  }
+  for (std::size_t k = 0; k + 3 < f.code.size(); ++k) {
+    if (is_ident(f, k, "push") && k >= 2 &&
+        (is_punct(f, k - 1, ".") || is_punct(f, k - 1, "->")) && is_ident(f, k - 2) &&
+        event_queues.count(tok(f, k - 2).text) && is_punct(f, k + 1, "(")) {
+      const std::size_t close = match_forward(f, k + 1);
+      if (close < f.code.size() && clocky_in(k + 2, close)) {
+        out.push_back({"determinism-flow", f.path, tok(f, k).line,
+                       "event time pushed into EventQueue '" + tok(f, k - 2).text +
+                           "' reads the wall clock: dequeue order must depend only on "
+                           "simulated time; derive event times from the simulation state"});
+      }
+    }
+    if (is_ident(f, k, "event_tie_break") && is_punct(f, k + 1, "(")) {
+      const std::size_t close = match_forward(f, k + 1);
+      if (close < f.code.size() && clocky_in(k + 2, close)) {
+        out.push_back({"determinism-flow", f.path, tok(f, k).line,
+                       "event_tie_break() key derives from the wall clock: equal-time "
+                       "events would dequeue in a different order every run; build keys "
+                       "from stable (kind, id) pairs"});
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -961,8 +999,9 @@ void add_sema_rules(std::vector<Rule>& out) {
                  "parallel work",
                  nullptr, check_nested_parallel});
   out.push_back({"determinism-flow",
-                 "no wall-clock seeds, pointer-ordered comparators, or unordered "
-                 "iteration order escaping into outputs",
+                 "no wall-clock seeds, pointer-ordered comparators, unordered "
+                 "iteration order escaping into outputs, or wall-clock times/keys "
+                 "flowing into EventQueue::push / event_tie_break",
                  nullptr, check_determinism_flow});
   out.push_back({"unit-flow",
                  "unit-suffix dimensions must be consistent through assignments and "

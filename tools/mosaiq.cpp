@@ -338,6 +338,7 @@ int cmd_fleet(int argc, const char* const* argv) {
                    "Simulate K clients sharing one medium and one server.");
   add_common_options(p);
   cli::add_fleet_robustness_options(p);
+  cli::add_fleet_engine_options(p);
   p.option("scheme", "client|server|filter-client|filter-server", "server")
       .option("clients", "comma-separated fleet sizes", "1,2,4,8,16")
       .option("think", "inter-query think time, seconds", "1.0");
@@ -367,6 +368,14 @@ int cmd_fleet(int argc, const char* const* argv) {
   proto.scheduler.low_charge = p.get_double("sched-low-charge");
   proto.scheduler.high_charge = p.get_double("sched-high-charge");
   proto.scheduler.horizon_s = p.get_double("sched-horizon");
+  const std::string engine = p.get("fleet-engine");
+  if (engine != "loop" && engine != "des") {
+    throw std::invalid_argument("--fleet-engine must be 'loop' or 'des', got '" + engine +
+                                "'");
+  }
+  proto.engine = engine == "des" ? core::FleetEngine::Des : core::FleetEngine::Loop;
+  proto.hotspots = static_cast<std::uint32_t>(p.get_int("hotspots"));
+  proto.zipf_theta = p.get_double("zipf-theta");
   const bool robust = proto.battery.enabled || proto.churn.enabled() ||
                       proto.replication > 1 || proto.scheduler.enabled;
 
@@ -391,7 +400,10 @@ int cmd_fleet(int argc, const char* const* argv) {
     if (!survival_out) throw std::runtime_error("cannot open " + p.get("survival-out"));
     survival_out << "clients,time_s,alive,client,cause\n";
   }
-  std::stringstream ss(p.get("clients"));
+  // --fleet-size N runs one fleet of exactly N clients (the DES
+  // engine's 10^5..10^6 territory); otherwise --clients sweeps sizes.
+  const std::int64_t fleet_size = p.get_int("fleet-size");
+  std::stringstream ss(fleet_size > 0 ? std::to_string(fleet_size) : p.get("clients"));
   for (std::string tok; std::getline(ss, tok, ',');) {
     core::FleetConfig fleet = proto;
     fleet.clients = static_cast<std::uint32_t>(std::stoul(tok));
